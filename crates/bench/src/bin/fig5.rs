@@ -1,0 +1,83 @@
+//! Regenerates paper Fig. 5: normalized energy efficiency of
+//! SmartBalance vs the state-of-the-art ARM GTS policy on an octa-core
+//! big.LITTLE platform (4 A15-class + 4 A7-class cores) — extended
+//! with the older Linaro IKS baseline (paper ref.\[23\]) so the whole
+//! Table 1 policy ladder is visible: IKS ≤ GTS ≤ SmartBalance.
+//!
+//! "The lack of joint per-thread ... and per-core accurate power as
+//! well as performance awareness limits GTS from achieving (near)
+//! optimal energy efficiency by as much as ~20 % in comparison to
+//! SmartBalance."
+//!
+//! Usage: `fig5 [--json out.json]`
+
+use archsim::Platform;
+use serde::Serialize;
+use smartbalance::{compare_policies, ExperimentSpec, Policy};
+use smartbalance_bench::{imb_workloads, maybe_dump_json, parsec_workloads, spec_for};
+
+#[derive(Debug, Serialize)]
+struct LadderRow {
+    label: String,
+    iks_eff: f64,
+    gts_eff: f64,
+    smart_eff: f64,
+    /// SmartBalance / GTS (the paper's Fig. 5 y-axis).
+    smart_vs_gts: f64,
+    /// GTS / IKS (the generational step the paper describes).
+    gts_vs_iks: f64,
+}
+
+fn run(label: &str, spec: &ExperimentSpec) -> LadderRow {
+    let results = compare_policies(spec, &[Policy::Iks, Policy::Gts, Policy::Smart]);
+    let (iks, gts, smart) = (
+        results[0].energy_efficiency(),
+        results[1].energy_efficiency(),
+        results[2].energy_efficiency(),
+    );
+    LadderRow {
+        label: label.to_owned(),
+        iks_eff: iks,
+        gts_eff: gts,
+        smart_eff: smart,
+        smart_vs_gts: if gts > 0.0 { smart / gts } else { 0.0 },
+        gts_vs_iks: if iks > 0.0 { gts / iks } else { 0.0 },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let platform = Platform::octa_big_little();
+    let mut rows = Vec::new();
+
+    for (label, bundle) in parsec_workloads() {
+        rows.push(run(&label, &spec_for(&label, &platform, &bundle, 4)));
+    }
+    for (label, profile) in imb_workloads()
+        .into_iter()
+        .filter(|(n, _)| n == "HTHI" || n == "MTMI" || n == "LTLI")
+    {
+        rows.push(run(&label, &spec_for(&label, &platform, &[profile], 4)));
+    }
+
+    println!("\n=== Fig 5: normalized energy efficiency on octa-core big.LITTLE ===");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "iks", "gts", "smartbalance", "smart/gts", "gts/iks"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>10.4e} {:>10.4e} {:>10.4e} {:>10.3} {:>10.3}",
+            r.label, r.iks_eff, r.gts_eff, r.smart_eff, r.smart_vs_gts, r.gts_vs_iks
+        );
+    }
+    let n = rows.len().max(1) as f64;
+    let avg_sg: f64 = rows.iter().map(|r| r.smart_vs_gts).sum::<f64>() / n;
+    let avg_gi: f64 = rows.iter().map(|r| r.gts_vs_iks).sum::<f64>() / n;
+    println!(
+        "\naverage: SmartBalance vs GTS {:+.1} % (paper: ~+20 %); GTS vs IKS {:+.1} %",
+        (avg_sg - 1.0) * 100.0,
+        (avg_gi - 1.0) * 100.0
+    );
+    maybe_dump_json(&args, &rows);
+}

@@ -1,0 +1,62 @@
+//! Regenerates paper Fig. 8: (a) the maximum iteration budget
+//! (`Opt_max_iter`) used for each scalability scenario together with
+//! the resulting *distance to optimal* — measured on synthetic cases
+//! whose optimal solution is known — and (b) the values of the
+//! remaining optimization parameters.
+//!
+//! Usage: `fig8 [--json out.json]`
+
+use serde::Serialize;
+use smartbalance::{anneal, known_optimum_case, AnnealParams, Goal, Objective};
+use smartbalance_bench::maybe_dump_json;
+
+#[derive(Debug, Serialize)]
+struct Fig8Row {
+    cores: usize,
+    threads: usize,
+    max_iter: u32,
+    distance_to_optimal_pct: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("Fig 8(a): Opt_max_iter per scenario and distance to optimal");
+    println!(
+        "{:>6} {:>8} {:>9} {:>20}",
+        "cores", "threads", "max_iter", "distance-to-opt (%)"
+    );
+    let mut rows = Vec::new();
+    for &cores in &[2usize, 4, 8, 16, 32, 64, 128] {
+        let threads = 2 * cores;
+        let params = AnnealParams::scaled_for(cores, threads);
+        // Average the gap over several known-optimum instances; the
+        // initial allocation is the worst case (everything stacked on
+        // core 0).
+        let trials = 5;
+        let mut gap = 0.0;
+        for t in 0..trials {
+            let case = known_optimum_case(cores, 2, 1_000 * cores as u64 + t);
+            let objective = Objective::new(&case.matrices, Goal::EnergyEfficiency);
+            let initial = vec![0usize; threads];
+            let out = anneal(&objective, &initial, params, 77 + t as u32);
+            gap += (1.0 - out.objective / case.optimal_value).max(0.0);
+        }
+        let distance = 100.0 * gap / trials as f64;
+        println!("{cores:>6} {threads:>8} {:>9} {distance:>20.2}", params.max_iter);
+        rows.push(Fig8Row {
+            cores,
+            threads,
+            max_iter: params.max_iter,
+            distance_to_optimal_pct: distance,
+        });
+    }
+    println!("(paper: distance to optimal grows slowly as the iteration cap binds)");
+
+    let d = AnnealParams::default();
+    println!("\nFig 8(b): remaining optimization parameters");
+    println!("  Opt_perturb        = {}", d.perturb);
+    println!("  Opt_Delta_perturb  = {}", d.dperturb);
+    println!("  Opt_accept         = {} (GIPS/W units)", d.accept);
+    println!("  Opt_Delta_accept   = {}", d.daccept);
+    maybe_dump_json(&args, &rows);
+}

@@ -1,0 +1,55 @@
+//! Regenerates paper Table 2: the heterogeneous core configuration
+//! parameters, plus the calibrated power-model outputs so the
+//! calibration can be eyeballed against the paper's peak numbers.
+
+use archsim::Platform;
+use mcpat::{CorePowerModel, PowerState};
+
+fn main() {
+    let platform = Platform::quad_heterogeneous();
+    println!("Table 2: Heterogeneous Core Configuration Parameters");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "Parameter", "Huge", "Big", "Medium", "Small"
+    );
+    let cfgs: Vec<_> = platform.types().map(|(_, c)| c.clone()).collect();
+    let row = |name: &str, f: &dyn Fn(&archsim::CoreConfig) -> String| {
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            f(&cfgs[0]),
+            f(&cfgs[1]),
+            f(&cfgs[2]),
+            f(&cfgs[3])
+        );
+    };
+    row("Issue width", &|c| c.issue_width.to_string());
+    row("LQ/SQ size", &|c| format!("{}/{}", c.lq_size, c.sq_size));
+    row("IQ size", &|c| c.iq_size.to_string());
+    row("ROB size", &|c| c.rob_size.to_string());
+    row("Int/float Regs", &|c| c.phys_regs.to_string());
+    row("L1$I size (KB)", &|c| c.l1i_kib.to_string());
+    row("L1$D size (KB)", &|c| c.l1d_kib.to_string());
+    row("Freq. (MHz)", &|c| format!("{:.0}", c.freq_hz / 1e6));
+    row("Voltage (V)", &|c| format!("{:.1}", c.vdd));
+    row("Peak Throughput IPC", &|c| format!("{:.2}", c.peak_ipc));
+    row("Peak Power (W)", &|c| format!("{:.3}", c.peak_power_w));
+    row("Area (mm2)", &|c| format!("{:.2}", c.area_mm2));
+
+    println!("\nCalibrated power model (derived):");
+    row("P @ full activity (W)", &|c| {
+        format!("{:.3}", CorePowerModel::calibrated(c).active_power_w(1.0))
+    });
+    row("P leakage (W)", &|c| {
+        format!("{:.3}", CorePowerModel::calibrated(c).leakage_w())
+    });
+    row("P sleep (W)", &|c| {
+        format!(
+            "{:.4}",
+            CorePowerModel::calibrated(c).power_w(PowerState::Sleeping)
+        )
+    });
+    row("Peak eff (GIPS/W)", &|c| {
+        format!("{:.2}", c.peak_ips() / 1e9 / c.peak_power_w)
+    });
+}

@@ -1,0 +1,48 @@
+//! Regenerates paper Table 4: the predictor coefficient matrix Θ for
+//! every ordered core-type pair.
+//!
+//! The coefficient basis differs from the paper's raw-counter columns —
+//! our regression operates on mechanistically transformed features (see
+//! `smartbalance::predict` and DESIGN.md) — but serves the same role:
+//! one linear row per `src → dst` pair, learned offline by least
+//! squares. A well-trained row has `cpi_mech ≈ 1` and small residual
+//! coefficients, meaning the mechanistic projection carries the
+//! prediction and the linear layer only corrects censoring bias.
+//!
+//! Usage: `table4`
+
+use archsim::{CoreTypeId, Platform};
+use smartbalance::predict::{PredictorSet, COEFF_NAMES};
+
+fn main() {
+    let platform = Platform::quad_heterogeneous();
+    let predictors = PredictorSet::train(&platform, 400, 0xDAC_2015);
+    let names: Vec<&str> = platform.types().map(|(_, c)| c.name.as_str()).collect();
+
+    println!("Table 4: predictor coefficient matrix (Θ)");
+    print!("{:<16}", "Predictor IPC");
+    for n in COEFF_NAMES {
+        print!("{n:>10}");
+    }
+    println!();
+    for s in 0..platform.num_types() {
+        for d in 0..platform.num_types() {
+            if s == d {
+                continue;
+            }
+            let row = predictors.theta(CoreTypeId(s), CoreTypeId(d));
+            print!("{:<16}", format!("{}->{}", names[s], names[d]));
+            for c in row {
+                print!("{c:>10.3}");
+            }
+            println!();
+        }
+    }
+
+    println!("\nPower coefficients (Eq. 9: p = α1·ipc + α0):");
+    println!("{:<10} {:>10} {:>10}", "type", "alpha1", "alpha0");
+    for (r, cfg) in platform.types() {
+        let c = predictors.power_coeffs(r);
+        println!("{:<10} {:>10.4} {:>10.4}", cfg.name, c.alpha1, c.alpha0);
+    }
+}

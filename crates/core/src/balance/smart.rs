@@ -1,0 +1,300 @@
+//! SmartBalance itself: the closed-loop sense → predict → balance
+//! policy (paper Section 4, Fig. 1(b)), packaged as a
+//! [`LoadBalancer`] plug-in for the kernel simulator.
+//!
+//! Per epoch:
+//! 1. **sense** — distil the epoch's per-thread counters into workload
+//!    signatures ([`crate::sense::Sensor`]);
+//! 2. **estimate/predict** — build the full `S(k)`/`P(k)`
+//!    characterization matrices, measuring on the current core type and
+//!    predicting everywhere else ([`crate::estimate::build_matrices`]);
+//! 3. **balance** — run Algorithm 1 ([`crate::anneal::anneal`]) from
+//!    the current allocation and emit the migrations it decides on.
+
+use archsim::Platform;
+use kernelsim::{Allocation, EpochReport, LoadBalancer};
+use mcpat::ThermalModel;
+
+use crate::anneal::{anneal, AnnealOutcome, AnnealParams};
+use crate::config::SmartBalanceConfig;
+use crate::estimate::build_matrices;
+use crate::objective::Objective;
+use crate::predict::PredictorSet;
+use crate::sense::Sensor;
+
+/// The SmartBalance policy.
+///
+/// # Examples
+///
+/// ```
+/// use archsim::{Platform, WorkloadCharacteristics};
+/// use kernelsim::{System, SystemConfig};
+/// use smartbalance::SmartBalance;
+/// use workloads::WorkloadProfile;
+///
+/// let platform = Platform::quad_heterogeneous();
+/// let mut policy = SmartBalance::new(&platform);
+/// let mut sys = System::new(platform, SystemConfig::default());
+/// sys.spawn(WorkloadProfile::uniform(
+///     "w",
+///     WorkloadCharacteristics::compute_bound(),
+///     40_000_000,
+/// ));
+/// sys.run_epoch(&mut policy);
+/// ```
+#[derive(Debug)]
+pub struct SmartBalance {
+    config: SmartBalanceConfig,
+    predictors: PredictorSet,
+    sensor: Sensor,
+    seed: u32,
+    epochs_balanced: u64,
+    last_outcome: Option<AnnealOutcome>,
+    thermal: Option<ThermalModel>,
+}
+
+impl SmartBalance {
+    /// Creates the policy for `platform` with default configuration,
+    /// performing the offline predictor training (Section 4.2.2's
+    /// profiling step) immediately.
+    pub fn new(platform: &Platform) -> Self {
+        Self::with_config(platform, SmartBalanceConfig::default())
+    }
+
+    /// Creates the policy with an explicit configuration.
+    pub fn with_config(platform: &Platform, config: SmartBalanceConfig) -> Self {
+        let predictors = PredictorSet::train_with_sparsity(
+            platform,
+            config.train_corpus,
+            config.train_seed,
+            config.sparse_sensing,
+        );
+        SmartBalance {
+            sensor: Sensor::new(config.min_sample_runtime_ns)
+                .with_power_noise(config.power_noise_sigma, 0xBAD_5EED),
+            predictors,
+            seed: 0x5A17_B0B5,
+            epochs_balanced: 0,
+            thermal: config.thermal.map(|_| ThermalModel::new(platform)),
+            config,
+            last_outcome: None,
+        }
+    }
+
+    /// Creates the policy reusing an already trained predictor set
+    /// (e.g. shared across experiment runs). Thermal tracking is not
+    /// available through this constructor (it needs the platform).
+    pub fn with_predictors(predictors: PredictorSet, config: SmartBalanceConfig) -> Self {
+        SmartBalance {
+            sensor: Sensor::new(config.min_sample_runtime_ns)
+                .with_power_noise(config.power_noise_sigma, 0xBAD_5EED),
+            predictors,
+            seed: 0x5A17_B0B5,
+            epochs_balanced: 0,
+            thermal: None,
+            config,
+            last_outcome: None,
+        }
+    }
+
+    /// The thermal tracker's current estimate for a core, if thermal
+    /// awareness is enabled.
+    pub fn temperature_c(&self, core: archsim::CoreId) -> Option<f64> {
+        self.thermal.as_ref().map(|t| t.temperature_c(core))
+    }
+
+    /// The trained predictor set (the Θ/α coefficients).
+    pub fn predictors(&self) -> &PredictorSet {
+        &self.predictors
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SmartBalanceConfig {
+        &self.config
+    }
+
+    /// Diagnostics from the most recent balancing pass.
+    pub fn last_outcome(&self) -> Option<&AnnealOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Number of epochs this policy has balanced.
+    pub fn epochs_balanced(&self) -> u64 {
+        self.epochs_balanced
+    }
+}
+
+impl LoadBalancer for SmartBalance {
+    fn name(&self) -> &str {
+        "smartbalance"
+    }
+
+    fn rebalance(&mut self, platform: &Platform, report: &EpochReport) -> Option<Allocation> {
+        self.epochs_balanced += 1;
+
+        // --- Thermal tracking (optional): advance the RC model with
+        // this epoch's measured per-core power.
+        if let Some(thermal) = &mut self.thermal {
+            for c in &report.cores {
+                thermal.step(c.core, c.power_w(report.duration_ns), report.duration_ns);
+            }
+        }
+
+        // --- Sense -----------------------------------------------------
+        let mut senses = self.sensor.sense(platform, report);
+        if !self.config.include_kernel_threads {
+            senses.retain(|s| !s.kernel_thread);
+        }
+        if senses.is_empty() {
+            self.last_outcome = None;
+            return None;
+        }
+
+        // --- Estimate & predict: S(k), P(k) ----------------------------
+        let matrices = build_matrices(platform, &senses, &self.predictors);
+
+        // --- Balance: Algorithm 1 from the current allocation ----------
+        let initial: Vec<usize> = senses.iter().map(|s| s.core.0).collect();
+        let params = self.config.anneal.unwrap_or_else(|| {
+            AnnealParams::scaled_for(platform.num_cores(), senses.len())
+        });
+        let mut objective = Objective::new(&matrices, self.config.goal);
+        if let Some(w) = &self.config.core_weights {
+            objective = objective.with_weights(w.clone());
+        } else if let (Some(thermal), Some(tc)) = (&self.thermal, self.config.thermal) {
+            // Thermal ω derating: steer work away from hot cores.
+            let weights: Vec<f64> = platform
+                .cores()
+                .map(|c| tc.weight_for(thermal.temperature_c(c)))
+                .collect();
+            objective = objective.with_weights(weights);
+        }
+        let outcome = anneal(&objective, &initial, params, self.seed);
+        // Advance the seed so successive epochs explore differently
+        // (deterministically across runs).
+        self.seed = self.seed.wrapping_mul(0x0001_9660_D).wrapping_add(0x3C6E_F35F);
+
+        let mut alloc = Allocation::new();
+        for (sense, (&new_core, &old_core)) in senses
+            .iter()
+            .zip(outcome.allocation.iter().zip(initial.iter()))
+        {
+            if new_core != old_core {
+                alloc.assign(sense.task, archsim::CoreId(new_core));
+            }
+        }
+        self.last_outcome = Some(outcome);
+
+        if alloc.is_empty() {
+            None
+        } else {
+            Some(alloc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::WorkloadCharacteristics;
+    use kernelsim::{System, SystemConfig};
+    use workloads::WorkloadProfile;
+
+    /// End-to-end smoke: a mixed workload on the quad-heterogeneous
+    /// platform; SmartBalance must place compute-bound work on strong
+    /// cores and memory-bound work on weak ones within a few epochs.
+    #[test]
+    fn separates_compute_from_memory_threads() {
+        let platform = Platform::quad_heterogeneous();
+        let mut policy = SmartBalance::new(&platform);
+        let mut sys = System::new(platform.clone(), SystemConfig::default());
+        // Large budgets so nothing exits during the test.
+        let compute = sys.spawn_on(
+            WorkloadProfile::uniform(
+                "compute",
+                WorkloadCharacteristics::compute_bound(),
+                u64::MAX / 4,
+            ),
+            archsim::CoreId(3), // deliberately start on the Small core
+        );
+        let memory = sys.spawn_on(
+            WorkloadProfile::uniform(
+                "memory",
+                WorkloadCharacteristics::memory_bound(),
+                u64::MAX / 4,
+            ),
+            archsim::CoreId(0), // deliberately start on the Huge core
+        );
+        for _ in 0..6 {
+            sys.run_epoch(&mut policy);
+        }
+        let c_core = sys.task(compute).core().0;
+        let m_core = sys.task(memory).core().0;
+        // Energy-efficiency goal: the memory-bound thread must leave
+        // the Huge core (its IPS/W there is terrible).
+        assert_ne!(m_core, 0, "memory-bound thread must not stay on Huge");
+        assert!(
+            policy.epochs_balanced() == 6,
+            "balanced every epoch: {}",
+            policy.epochs_balanced()
+        );
+        // The two threads end up on different cores.
+        assert_ne!(c_core, m_core);
+    }
+
+    #[test]
+    fn idle_system_is_noop() {
+        let platform = Platform::quad_heterogeneous();
+        let mut policy = SmartBalance::new(&platform);
+        let mut sys = System::new(platform, SystemConfig::default());
+        let report = sys.run_epoch(&mut policy);
+        assert!(report.tasks.is_empty());
+        assert!(policy.last_outcome().is_none());
+    }
+
+    #[test]
+    fn kernel_threads_excluded_by_default() {
+        let platform = Platform::quad_heterogeneous();
+        let mut policy = SmartBalance::new(&platform);
+        let mut sys = System::new(platform, SystemConfig::default());
+        let ktid = sys.next_task_id();
+        sys.spawn_task(
+            kernelsim::Task::new(
+                ktid,
+                WorkloadProfile::uniform(
+                    "kworker",
+                    WorkloadCharacteristics::balanced(),
+                    u64::MAX / 4,
+                ),
+                archsim::CoreId(0),
+            )
+            .as_kernel_thread(),
+        );
+        for _ in 0..3 {
+            sys.run_epoch(&mut policy);
+        }
+        assert_eq!(
+            sys.task(ktid).migrations(),
+            0,
+            "kernel threads stay put by default"
+        );
+    }
+
+    #[test]
+    fn outcome_diagnostics_exposed() {
+        let platform = Platform::quad_heterogeneous();
+        let mut policy = SmartBalance::new(&platform);
+        let mut sys = System::new(platform, SystemConfig::default());
+        for _ in 0..3 {
+            sys.spawn(WorkloadProfile::uniform(
+                "w",
+                WorkloadCharacteristics::balanced(),
+                u64::MAX / 4,
+            ));
+        }
+        sys.run_epoch(&mut policy);
+        let out = policy.last_outcome().expect("ran");
+        assert!(out.iterations > 0);
+        assert!(out.objective >= out.initial_objective);
+    }
+}

@@ -1,0 +1,154 @@
+//! The **estimate** phase glue: combine per-thread measurements on the
+//! current core (sense) with cross-core-type predictions (predict) into
+//! the full `S(k)` / `P(k)` characterization matrices the optimizer
+//! consumes (paper Section 4.2, Fig. 2 steps 2–3).
+
+use archsim::Platform;
+use mcpat::CorePowerModel;
+
+use crate::matrices::CharacterizationMatrices;
+use crate::predict::PredictorSet;
+use crate::sense::ThreadSense;
+
+/// Builds `S(k)` and `P(k)` for the given sensed threads.
+///
+/// For every thread, columns whose core type equals the thread's
+/// current core type carry the *measured* values (same type ⇒ same
+/// micro-architecture and operating point); every other column is
+/// filled with the Θ/α predictions of Eq. 8–9. Threads whose sample is
+/// stale or a prior fall back to prediction everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use archsim::Platform;
+/// use smartbalance::estimate::build_matrices;
+/// use smartbalance::predict::PredictorSet;
+///
+/// let platform = Platform::quad_heterogeneous();
+/// let predictors = PredictorSet::train(&platform, 100, 1);
+/// let m = build_matrices(&platform, &[], &predictors);
+/// assert_eq!(m.num_threads(), 0);
+/// assert_eq!(m.num_cores(), 4);
+/// ```
+pub fn build_matrices(
+    platform: &Platform,
+    senses: &[ThreadSense],
+    predictors: &PredictorSet,
+) -> CharacterizationMatrices {
+    let core_types: Vec<_> = platform.cores().map(|c| platform.core_type(c)).collect();
+    let sleep_power: Vec<f64> = platform
+        .cores()
+        .map(|c| CorePowerModel::calibrated(platform.core_config(c)).sleep_power_w())
+        .collect();
+    let tasks = senses.iter().map(|s| s.task).collect();
+    let mut m = CharacterizationMatrices::new(tasks, core_types.clone(), sleep_power);
+
+    for (i, sense) in senses.iter().enumerate() {
+        let src_type = platform.core_type(sense.core);
+        let has_measurement = sense.fresh && sense.measured_ips > 0.0;
+        for (j, &dst_type) in core_types.iter().enumerate() {
+            if has_measurement && dst_type == src_type {
+                m.set(i, j, sense.measured_ips, sense.measured_power_w.max(1e-6), true);
+            } else {
+                let ipc = predictors.predict_ipc(&sense.features, src_type, dst_type);
+                let ips = ipc * platform.type_config(dst_type).freq_hz;
+                let p = predictors.predict_power_w(ipc, dst_type).max(1e-6);
+                m.set(i, j, ips, p, false);
+            }
+        }
+        m.set_utilization(i, sense.utilization);
+        m.set_allowed(i, sense.allowed);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sense::{features_from_counters, ThreadSense};
+    use archsim::{run_slice, CoreId, WorkloadCharacteristics};
+    use kernelsim::TaskId;
+
+    fn sense_for(
+        platform: &Platform,
+        core: CoreId,
+        w: &WorkloadCharacteristics,
+        fresh: bool,
+    ) -> ThreadSense {
+        let cfg = platform.core_config(core);
+        let slice = run_slice(w, cfg, 10_000_000);
+        ThreadSense {
+            task: TaskId(0),
+            core,
+            features: features_from_counters(&slice.counters, cfg.freq_hz),
+            measured_ips: slice.ips(),
+            measured_power_w: 1.0,
+            utilization: 0.9,
+            weight: 1024,
+            kernel_thread: false,
+            allowed: u64::MAX,
+            fresh,
+        }
+    }
+
+    #[test]
+    fn measured_column_used_for_own_type() {
+        let platform = Platform::quad_heterogeneous();
+        let predictors = PredictorSet::train(&platform, 200, 3);
+        let w = WorkloadCharacteristics::balanced();
+        let s = sense_for(&platform, CoreId(1), &w, true);
+        let m = build_matrices(&platform, &[s], &predictors);
+        assert!(m.is_measured(0, 1), "own core column is measured");
+        assert!(!m.is_measured(0, 0));
+        assert!(!m.is_measured(0, 3));
+        assert_eq!(m.ips(0, 1), s.measured_ips);
+        assert_eq!(m.power(0, 1), 1.0);
+        assert!((m.utilization(0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_sense_predicts_everywhere() {
+        let platform = Platform::quad_heterogeneous();
+        let predictors = PredictorSet::train(&platform, 200, 3);
+        let w = WorkloadCharacteristics::balanced();
+        let s = sense_for(&platform, CoreId(1), &w, false);
+        let m = build_matrices(&platform, &[s], &predictors);
+        for j in 0..4 {
+            assert!(!m.is_measured(0, j));
+            assert!(m.ips(0, j) > 0.0);
+            assert!(m.power(0, j) > 0.0);
+        }
+    }
+
+    #[test]
+    fn predictions_are_plausible_across_types() {
+        // A compute-bound thread sensed on the Medium core should be
+        // predicted much faster on Huge and slower on Small.
+        let platform = Platform::quad_heterogeneous();
+        let predictors = PredictorSet::train(&platform, 400, 3);
+        let w = WorkloadCharacteristics::compute_bound();
+        let s = sense_for(&platform, CoreId(2), &w, true);
+        let m = build_matrices(&platform, &[s], &predictors);
+        assert!(m.ips(0, 0) > 2.0 * m.ips(0, 2), "Huge >> Medium for compute");
+        assert!(m.ips(0, 3) < m.ips(0, 2), "Small < Medium");
+        assert!(m.power(0, 0) > m.power(0, 3) * 10.0, "power gap is extreme");
+    }
+
+    #[test]
+    fn same_type_columns_share_measurement() {
+        // On big.LITTLE, both little cores must get the measured value.
+        let platform = Platform::octa_big_little();
+        let predictors = PredictorSet::train(&platform, 200, 4);
+        let w = WorkloadCharacteristics::balanced();
+        let s = sense_for(&platform, CoreId(5), &w, true); // a little core
+        let m = build_matrices(&platform, &[s], &predictors);
+        for j in 4..8 {
+            assert!(m.is_measured(0, j), "core {j} is same type as source");
+            assert_eq!(m.ips(0, j), s.measured_ips);
+        }
+        for j in 0..4 {
+            assert!(!m.is_measured(0, j));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # smartbalance — sensing-driven load balancing for heterogeneous MPSoCs
+//!
+//! A from-scratch reproduction of **SmartBalance** (Sarma, Muck,
+//! Bathen, Dutt, Nicolau — DAC 2015): a closed-loop
+//! **sense → predict → balance** load balancer for aggressively
+//! heterogeneous multi-processor systems-on-chip, replacing the
+//! heterogeneity-blind vanilla Linux balancer.
+//!
+//! Every epoch (tens of milliseconds, spanning many CFS scheduling
+//! periods) the policy:
+//!
+//! 1. **senses** per-thread hardware counters and per-core power
+//!    ([`sense`]),
+//! 2. **estimates** each thread's throughput/power on its current core
+//!    and **predicts** both on every other core type via per-type-pair
+//!    linear regression ([`predict`], [`estimate`]) — filling the
+//!    `S(k)`/`P(k)` characterization matrices ([`matrices`]),
+//! 3. **balances** by searching the thread-to-core allocation space
+//!    with a lightweight online simulated annealer using fixed-point
+//!    probability arithmetic ([`anneal`](mod@anneal), [`fixed`]), maximizing total
+//!    energy efficiency `Σ_j IPS_j / P_j` ([`objective`]),
+//!
+//! then migrates threads accordingly ([`balance::SmartBalance`]
+//! implements the kernel simulator's [`kernelsim::LoadBalancer`] hook).
+//!
+//! The crate also ships the paper's two comparison baselines — the
+//! vanilla Linux balancer ([`balance::VanillaBalancer`]) and ARM's
+//! Global Task Scheduling ([`balance::GtsBalancer`]) — plus ground-truth
+//! optimal allocators for evaluating solution quality ([`optimal`]) and
+//! an experiment [`runner`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use archsim::Platform;
+//! use smartbalance::{compare_policies, ExperimentSpec, Policy};
+//! use workloads::parsec;
+//!
+//! // Paper Fig. 4(b)-style measurement, one benchmark, 2 threads:
+//! let spec = ExperimentSpec::new(
+//!     "quickstart",
+//!     Platform::quad_heterogeneous(),
+//!     ExperimentSpec::parallelize(&parsec::blackscholes().scaled(0.02), 2),
+//! );
+//! let results = compare_policies(&spec, &[Policy::Vanilla, Policy::Smart]);
+//! let gain = results[1].efficiency_vs(&results[0]);
+//! println!("SmartBalance/vanilla energy efficiency: {gain:.2}x");
+//! ```
+
+pub mod anneal;
+pub mod balance;
+pub mod config;
+pub mod estimate;
+pub mod fixed;
+pub mod matrices;
+pub mod objective;
+pub mod optimal;
+pub mod predict;
+pub mod runner;
+pub mod sense;
+
+pub use anneal::{anneal, AnnealOutcome, AnnealParams};
+pub use balance::{GtsBalancer, IksBalancer, SmartBalance, VanillaBalancer};
+pub use config::{SmartBalanceConfig, ThermalConfig};
+pub use estimate::build_matrices;
+pub use matrices::CharacterizationMatrices;
+pub use objective::{Goal, Objective};
+pub use optimal::{exhaustive_best, known_optimum_case, KnownCase};
+pub use predict::{PowerCoeffs, PredictorSet};
+pub use runner::{compare_policies, run_experiment, ExperimentSpec, Policy, RunResult};
+pub use sense::{Sensor, ThreadSense, FEATURE_NAMES, NUM_FEATURES};

@@ -1,0 +1,497 @@
+//! The optimization objective (paper Eq. 10–11): maximize overall
+//! energy efficiency — instructions per joule — plus the literal
+//! per-core ratio sum of Eq. 11 and the alternative goals (throughput,
+//! power) the paper notes can be swapped in, and the *incremental*
+//! evaluation that makes Algorithm 1 cheap ("the computation of the
+//! objective function is also optimized by keeping track of previous
+//! computations and obtaining a new evaluation only by performing
+//! computations induced by the latest swap on Ψ").
+//!
+//! Per-core model under an allocation Ψ: threads time-share a core
+//! under CFS, so with per-thread demands `u_i` and per-thread full-speed
+//! rates `ips_ij` / `p_ij`,
+//!
+//! ```text
+//! U_j   = Σ u_i                (total demand)
+//! busy  = min(1, U_j)          (the core can't exceed 100 %)
+//! IPS_j = Σ u_i·ips_ij · busy/U_j
+//! P_j   = Σ u_i·p_ij  · busy/U_j + (1 − busy)·P_sleep_j
+//! ```
+//!
+//! Objective values are expressed in GIPS/W so the annealer's
+//! fixed-point acceptance test operates on O(1) magnitudes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrices::CharacterizationMatrices;
+
+/// Scale factor turning instr/s per watt into GIPS/W.
+const GIPS: f64 = 1.0e9;
+
+/// Optimization goal (the paper's Eq. 11 plus the alternatives its
+/// Section 5.1 mentions can be swapped into the objective).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Goal {
+    /// Maximize the *system* energy efficiency `Σ ω_j IPS_j / Σ ω_j
+    /// P_j` (GIPS/W) — instructions per joule of the machine as a
+    /// whole, the quantity the paper's Eq. 10 calls "overall energy
+    /// efficiency (IPS/Watt or Instructions per Joule)" and that the
+    /// evaluation figures measure. This is the default goal.
+    ///
+    /// Rationale for deviating from the literal Eq. 11 by default: the
+    /// per-core ratio *sum* is insensitive to how much work each core
+    /// contributes, so it can park a hopeless thread on a big core as a
+    /// "dump site" (one small bad term) to keep efficient cores' ratios
+    /// pristine — improving `J_E` while worsening the measured
+    /// instructions/joule. The system ratio has no such pathology. The
+    /// literal Eq. 11 remains available as
+    /// [`Goal::PerCoreEfficiencySum`] and is compared in the ablation
+    /// bench.
+    #[default]
+    EnergyEfficiency,
+    /// Maximize `Σ ω_j IPS_j / P_j` — the paper's Eq. 11 as written
+    /// (per-core ratio sum; idle cores contribute 0).
+    PerCoreEfficiencySum,
+    /// Maximize total throughput `Σ ω_j IPS_j` (GIPS).
+    Throughput,
+    /// Minimize total power: the objective is `−Σ ω_j P_j` (W).
+    MinPower,
+    /// Minimize the energy-delay product: the objective is
+    /// `(Σ ω_j IPS_j)² / Σ ω_j P_j` (maximizing IPS²/P minimizes
+    /// energy·delay per instruction) — the classic middle ground
+    /// between the throughput and energy goals.
+    EnergyDelayProduct,
+}
+
+/// Objective evaluator over a characterization-matrix snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective<'a> {
+    matrices: &'a CharacterizationMatrices,
+    weights: Vec<f64>,
+    goal: Goal,
+}
+
+impl<'a> Objective<'a> {
+    /// Creates an evaluator with all core weights `ω_j = 1` (the
+    /// paper's default).
+    pub fn new(matrices: &'a CharacterizationMatrices, goal: Goal) -> Self {
+        Objective {
+            weights: vec![1.0; matrices.num_cores()],
+            matrices,
+            goal,
+        }
+    }
+
+    /// Sets per-core weights `ω_j` ("can be tuned to give preference to
+    /// certain cores or core types").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the core count or any
+    /// weight is negative/non-finite.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.matrices.num_cores(), "one ω per core");
+        for &w in &weights {
+            assert!(w.is_finite() && w >= 0.0, "ω must be finite and >= 0");
+        }
+        self.weights = weights;
+        self
+    }
+
+    /// The underlying matrices.
+    pub fn matrices(&self) -> &CharacterizationMatrices {
+        self.matrices
+    }
+
+    /// Full evaluation of allocation `alloc` (`alloc[i]` = core index
+    /// of thread `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc.len()` differs from the thread count or any
+    /// entry is out of core range.
+    pub fn evaluate(&self, alloc: &[usize]) -> f64 {
+        let state = IncrementalObjective::new(self, alloc);
+        state.value()
+    }
+
+    /// Effective (post-time-sharing) throughput and power of core `j`
+    /// given its demand/rate sums; an empty core sleeps.
+    fn core_terms(&self, j: usize, u_sum: f64, ips_sum: f64, pow_sum: f64) -> (f64, f64) {
+        if u_sum <= 0.0 {
+            return (0.0, self.matrices.sleep_power_w(j));
+        }
+        let busy = u_sum.min(1.0);
+        let scale = busy / u_sum;
+        let ips = ips_sum * scale;
+        let power = pow_sum * scale + (1.0 - busy) * self.matrices.sleep_power_w(j);
+        (ips, power)
+    }
+
+    /// The per-core contribution of core `j` to the goal-specific
+    /// aggregates: `(w·IPS, w·P, w·ratio)`.
+    fn aggregates_of(&self, j: usize, (ips, p): (f64, f64)) -> (f64, f64, f64) {
+        let w = self.weights[j];
+        let ratio = if ips <= 0.0 || p <= 0.0 {
+            0.0
+        } else {
+            w * (ips / p) / GIPS
+        };
+        (w * ips, w * p, ratio)
+    }
+
+    /// Combines goal aggregates into the scalar objective.
+    fn total_from(&self, sum_ips: f64, sum_p: f64, sum_ratio: f64) -> f64 {
+        match self.goal {
+            Goal::EnergyEfficiency => {
+                if sum_p <= 0.0 {
+                    0.0
+                } else {
+                    (sum_ips / sum_p) / GIPS
+                }
+            }
+            Goal::PerCoreEfficiencySum => sum_ratio,
+            Goal::Throughput => sum_ips / GIPS,
+            Goal::MinPower => -sum_p,
+            Goal::EnergyDelayProduct => {
+                if sum_p <= 0.0 {
+                    0.0
+                } else {
+                    (sum_ips / GIPS) * (sum_ips / GIPS) / sum_p
+                }
+            }
+        }
+    }
+}
+
+/// Incrementally maintained objective state for a working allocation:
+/// per-core partial sums plus cached per-core values, updated in O(1)
+/// per move instead of O(m·n) per evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalObjective<'a, 'b> {
+    objective: &'b Objective<'a>,
+    alloc: Vec<usize>,
+    u_sum: Vec<f64>,
+    ips_sum: Vec<f64>,
+    pow_sum: Vec<f64>,
+    /// Cached effective (IPS, power) per core.
+    core_terms: Vec<(f64, f64)>,
+    /// Weighted ΣIPS across cores.
+    sum_ips: f64,
+    /// Weighted ΣP across cores.
+    sum_p: f64,
+    /// Weighted Σ(IPS/P) across cores (Eq. 11 aggregate).
+    sum_ratio: f64,
+    total: f64,
+}
+
+impl<'a, 'b> IncrementalObjective<'a, 'b> {
+    /// Builds the state for an initial allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc.len()` differs from the thread count or any
+    /// entry is out of core range.
+    pub fn new(objective: &'b Objective<'a>, alloc: &[usize]) -> Self {
+        let m = objective.matrices;
+        assert_eq!(alloc.len(), m.num_threads(), "one core per thread");
+        let n = m.num_cores();
+        let mut u_sum = vec![0.0; n];
+        let mut ips_sum = vec![0.0; n];
+        let mut pow_sum = vec![0.0; n];
+        for (i, &j) in alloc.iter().enumerate() {
+            assert!(j < n, "thread {i} assigned to non-existent core {j}");
+            let u = m.utilization(i);
+            u_sum[j] += u;
+            ips_sum[j] += u * m.ips(i, j);
+            pow_sum[j] += u * m.power(i, j);
+        }
+        let core_terms: Vec<(f64, f64)> = (0..n)
+            .map(|j| objective.core_terms(j, u_sum[j], ips_sum[j], pow_sum[j]))
+            .collect();
+        let (mut sum_ips, mut sum_p, mut sum_ratio) = (0.0, 0.0, 0.0);
+        for (j, &t) in core_terms.iter().enumerate() {
+            let (i, p, r) = objective.aggregates_of(j, t);
+            sum_ips += i;
+            sum_p += p;
+            sum_ratio += r;
+        }
+        let total = objective.total_from(sum_ips, sum_p, sum_ratio);
+        IncrementalObjective {
+            objective,
+            alloc: alloc.to_vec(),
+            u_sum,
+            ips_sum,
+            pow_sum,
+            core_terms,
+            sum_ips,
+            sum_p,
+            sum_ratio,
+            total,
+        }
+    }
+
+    /// Current objective value.
+    pub fn value(&self) -> f64 {
+        self.total
+    }
+
+    /// Current allocation.
+    pub fn alloc(&self) -> &[usize] {
+        &self.alloc
+    }
+
+    /// The objective delta if thread `i` moved to core `to` (no state
+    /// change). Returns 0 for a self-move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `to` is out of range.
+    pub fn delta_for_move(&self, i: usize, to: usize) -> f64 {
+        let from = self.alloc[i];
+        if from == to {
+            return 0.0;
+        }
+        let m = self.objective.matrices;
+        let u = m.utilization(i);
+        let new_from = self.objective.core_terms(
+            from,
+            self.u_sum[from] - u,
+            self.ips_sum[from] - u * m.ips(i, from),
+            self.pow_sum[from] - u * m.power(i, from),
+        );
+        let new_to = self.objective.core_terms(
+            to,
+            self.u_sum[to] + u,
+            self.ips_sum[to] + u * m.ips(i, to),
+            self.pow_sum[to] + u * m.power(i, to),
+        );
+        // O(1): patch the three goal aggregates for the two cores.
+        let (mut s_ips, mut s_p, mut s_r) = (self.sum_ips, self.sum_p, self.sum_ratio);
+        for (j, old, new) in [
+            (from, self.core_terms[from], new_from),
+            (to, self.core_terms[to], new_to),
+        ] {
+            let (oi, op, or) = self.objective.aggregates_of(j, old);
+            let (ni, np, nr) = self.objective.aggregates_of(j, new);
+            s_ips += ni - oi;
+            s_p += np - op;
+            s_r += nr - or;
+        }
+        self.objective.total_from(s_ips, s_p, s_r) - self.total
+    }
+
+    /// Commits the move of thread `i` to core `to`, returning the
+    /// realized delta.
+    pub fn commit_move(&mut self, i: usize, to: usize) -> f64 {
+        let from = self.alloc[i];
+        if from == to {
+            return 0.0;
+        }
+        let m = self.objective.matrices;
+        let u = m.utilization(i);
+        self.u_sum[from] -= u;
+        self.ips_sum[from] -= u * m.ips(i, from);
+        self.pow_sum[from] -= u * m.power(i, from);
+        self.u_sum[to] += u;
+        self.ips_sum[to] += u * m.ips(i, to);
+        self.pow_sum[to] += u * m.power(i, to);
+        self.alloc[i] = to;
+        for j in [from, to] {
+            let new = self
+                .objective
+                .core_terms(j, self.u_sum[j], self.ips_sum[j], self.pow_sum[j]);
+            let (oi, op, or) = self.objective.aggregates_of(j, self.core_terms[j]);
+            let (ni, np, nr) = self.objective.aggregates_of(j, new);
+            self.sum_ips += ni - oi;
+            self.sum_p += np - op;
+            self.sum_ratio += nr - or;
+            self.core_terms[j] = new;
+        }
+        let new_total = self
+            .objective
+            .total_from(self.sum_ips, self.sum_p, self.sum_ratio);
+        let delta = new_total - self.total;
+        self.total = new_total;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::CoreTypeId;
+    use kernelsim::TaskId;
+
+    /// Two threads × two cores with hand-set rates.
+    fn simple() -> CharacterizationMatrices {
+        let mut m = CharacterizationMatrices::new(
+            vec![TaskId(0), TaskId(1)],
+            vec![CoreTypeId(0), CoreTypeId(1)],
+            vec![0.1, 0.01],
+        );
+        // Thread 0: fast on core 0 (4 GIPS @ 4 W), slow on core 1.
+        m.set(0, 0, 4.0e9, 4.0, true);
+        m.set(0, 1, 0.5e9, 0.1, false);
+        // Thread 1: memory-bound, barely faster on core 0.
+        m.set(1, 0, 1.0e9, 4.0, false);
+        m.set(1, 1, 0.4e9, 0.1, true);
+        m.set_utilization(0, 1.0);
+        m.set_utilization(1, 1.0);
+        m
+    }
+
+    #[test]
+    fn per_core_sum_goal_matches_eq11() {
+        let m = simple();
+        let obj = Objective::new(&m, Goal::PerCoreEfficiencySum);
+        // Matched: t0 on c0 (1 GIPS/W), t1 on c1 (4 GIPS/W) -> 5.
+        let matched = obj.evaluate(&[0, 1]);
+        // Inverted: t0 on c1 (5 GIPS/W!), t1 on c0 (0.25).
+        let inverted = obj.evaluate(&[1, 0]);
+        assert!((matched - 5.0).abs() < 1e-9, "{matched}");
+        assert!((inverted - 5.25).abs() < 1e-9, "{inverted}");
+        // Both on the little core: they share it 50/50; the idle big
+        // core contributes 0.
+        let packed = obj.evaluate(&[1, 1]);
+        // IPS = (0.5+0.4)/2 GIPS, P = 0.1 -> 4.5 GIPS/W.
+        assert!((packed - 4.5).abs() < 1e-9, "{packed}");
+    }
+
+    #[test]
+    fn system_efficiency_goal_is_global_ratio() {
+        let m = simple();
+        let obj = Objective::new(&m, Goal::EnergyEfficiency);
+        // Matched: ΣIPS = 4.4 GIPS, ΣP = 4.1 W.
+        let matched = obj.evaluate(&[0, 1]);
+        assert!((matched - 4.4 / 4.1).abs() < 1e-9, "{matched}");
+        // Packed on the little core: ΣIPS = 0.45 GIPS shared, ΣP =
+        // 0.1 W busy + 0.1 W big-core sleep.
+        let packed = obj.evaluate(&[1, 1]);
+        assert!((packed - 0.45 / 0.2).abs() < 1e-9, "{packed}");
+        // No dump-site pathology: parking t1 on the big core (terrible
+        // ratio, real watts) must score worse than keeping it cheap.
+        let dumped = obj.evaluate(&[1, 0]);
+        assert!(dumped < packed, "dump-site must not win: {dumped} vs {packed}");
+    }
+
+    #[test]
+    fn throughput_goal_prefers_big_core() {
+        let m = simple();
+        let obj = Objective::new(&m, Goal::Throughput);
+        let big = obj.evaluate(&[0, 0]); // share: (4+1)/2 = 2.5 GIPS
+        let split = obj.evaluate(&[0, 1]); // 4 + 0.4 = 4.4 GIPS
+        assert!((big - 2.5).abs() < 1e-9);
+        assert!((split - 4.4).abs() < 1e-9);
+        assert!(split > big);
+    }
+
+    #[test]
+    fn min_power_goal_counts_sleep_leakage() {
+        let m = simple();
+        let obj = Objective::new(&m, Goal::MinPower);
+        // Everything on core 1: core 0 sleeps at 0.1 W.
+        let packed = obj.evaluate(&[1, 1]);
+        assert!((packed - -(0.1 + 0.1)).abs() < 1e-9, "{packed}");
+    }
+
+    #[test]
+    fn weights_scale_core_terms() {
+        let m = simple();
+        let obj =
+            Objective::new(&m, Goal::PerCoreEfficiencySum).with_weights(vec![2.0, 0.0]);
+        let v = obj.evaluate(&[0, 1]);
+        // Core 0 term doubled (2 GIPS/W), core 1 zeroed.
+        assert!((v - 2.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn partial_utilization_mixes_sleep_power() {
+        let mut m = simple();
+        m.set_utilization(0, 0.5);
+        let obj = Objective::new(&m, Goal::PerCoreEfficiencySum);
+        // Thread 0 alone on core 0 at 50 % duty: IPS = 2 GIPS,
+        // P = 0.5*4 + 0.5*0.1 = 2.05 W.
+        let mut alloc_state = IncrementalObjective::new(&obj, &[0, 1]);
+        let expected_core0 = 2.0 / 2.05;
+        let got = alloc_state.value() - 4.0; // subtract core 1's term
+        assert!((got - expected_core0).abs() < 1e-9, "{got}");
+        // Moving t1 over too: U = 1.5 > 1 -> saturation.
+        alloc_state.commit_move(1, 0);
+        let u = 1.5;
+        let scale = 1.0 / u;
+        let ips = (0.5 * 4.0e9 + 1.0 * 1.0e9) * scale / 1.0e9;
+        let p = (0.5 * 4.0 + 1.0 * 4.0) * scale;
+        assert!((alloc_state.value() - ips / p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_matches_full_evaluation() {
+        let m = simple();
+        for goal in [
+            Goal::EnergyEfficiency,
+            Goal::PerCoreEfficiencySum,
+            Goal::Throughput,
+            Goal::MinPower,
+            Goal::EnergyDelayProduct,
+        ] {
+            let obj = Objective::new(&m, goal);
+            let mut state = IncrementalObjective::new(&obj, &[0, 0]);
+            let moves = [(0, 1), (1, 1), (0, 0), (1, 0), (0, 1)];
+            for (i, to) in moves {
+                let predicted = state.delta_for_move(i, to);
+                let before = state.value();
+                let realized = state.commit_move(i, to);
+                assert!((predicted - realized).abs() < 1e-12, "{goal:?}");
+                let full = obj.evaluate(state.alloc());
+                assert!(
+                    (state.value() - full).abs() < 1e-9,
+                    "{goal:?}: incremental {} vs full {full}",
+                    state.value()
+                );
+                assert!((state.value() - before - realized).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn edp_goal_sits_between_throughput_and_energy() {
+        // EDP should prefer the big core more than the energy goal
+        // does, but still account for power unlike pure throughput.
+        let m = simple();
+        let edp = Objective::new(&m, Goal::EnergyDelayProduct);
+        // Matched split: IPS 4.4 GIPS, P 4.1 W -> 4.4^2/4.1 = 4.722.
+        let split = edp.evaluate(&[0, 1]);
+        assert!((split - 4.4 * 4.4 / 4.1).abs() < 1e-9, "{split}");
+        // Packed on little: IPS 0.45, P 0.2 -> 1.0125.
+        let packed = edp.evaluate(&[1, 1]);
+        assert!((packed - 0.45 * 0.45 / 0.2).abs() < 1e-9, "{packed}");
+        // Unlike the energy goal, EDP prefers the split here.
+        assert!(split > packed);
+    }
+
+    #[test]
+    fn self_move_is_free() {
+        let m = simple();
+        let obj = Objective::new(&m, Goal::EnergyEfficiency);
+        let mut state = IncrementalObjective::new(&obj, &[0, 1]);
+        assert_eq!(state.delta_for_move(0, 0), 0.0);
+        assert_eq!(state.commit_move(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent core")]
+    fn bad_allocation_rejected() {
+        let m = simple();
+        let obj = Objective::new(&m, Goal::EnergyEfficiency);
+        obj.evaluate(&[0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one core per thread")]
+    fn wrong_length_allocation_rejected() {
+        let m = simple();
+        let obj = Objective::new(&m, Goal::EnergyEfficiency);
+        obj.evaluate(&[0]);
+    }
+}

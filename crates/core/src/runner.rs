@@ -1,0 +1,236 @@
+//! End-to-end experiment runner: platform + workload set + policy →
+//! measured energy efficiency. This is the harness behind every
+//! evaluation figure; the bench crate's binaries are thin wrappers
+//! around it.
+
+use archsim::Platform;
+use kernelsim::{LoadBalancer, NullBalancer, System, SystemConfig, SystemStats};
+use serde::{Deserialize, Serialize};
+use workloads::WorkloadProfile;
+
+use crate::balance::{GtsBalancer, IksBalancer, SmartBalance, VanillaBalancer};
+use crate::config::SmartBalanceConfig;
+
+/// Which balancing policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// No balancing at all (tasks stay where fork placed them).
+    None,
+    /// The vanilla Linux weight-equalizing balancer.
+    Vanilla,
+    /// ARM GTS (requires a 2-core-type platform).
+    Gts,
+    /// Linaro IKS (requires a paired big.LITTLE platform).
+    Iks,
+    /// SmartBalance.
+    Smart,
+}
+
+impl Policy {
+    /// Instantiates the policy for `platform`.
+    pub fn build(self, platform: &Platform) -> Box<dyn LoadBalancer> {
+        match self {
+            Policy::None => Box::new(NullBalancer),
+            Policy::Vanilla => Box::new(VanillaBalancer::new()),
+            Policy::Gts => Box::new(GtsBalancer::new()),
+            Policy::Iks => Box::new(IksBalancer::new()),
+            Policy::Smart => Box::new(SmartBalance::new(platform)),
+        }
+    }
+
+    /// Instantiates SmartBalance with a custom config (other policies
+    /// ignore the config).
+    pub fn build_with(self, platform: &Platform, cfg: SmartBalanceConfig) -> Box<dyn LoadBalancer> {
+        match self {
+            Policy::Smart => Box::new(SmartBalance::with_config(platform, cfg)),
+            other => other.build(platform),
+        }
+    }
+}
+
+/// One experiment: a platform, a set of task profiles and run limits.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Label for reports.
+    pub name: String,
+    /// The platform to simulate.
+    pub platform: Platform,
+    /// One task is spawned per profile.
+    pub profiles: Vec<WorkloadProfile>,
+    /// Kernel-simulator timing configuration.
+    pub sys_config: SystemConfig,
+    /// Hard stop after this many epochs even if tasks are still live.
+    pub max_epochs: u64,
+}
+
+impl ExperimentSpec {
+    /// Creates a spec with default timing and a 2 000-epoch (2-minute)
+    /// safety limit.
+    pub fn new(
+        name: impl Into<String>,
+        platform: Platform,
+        profiles: Vec<WorkloadProfile>,
+    ) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            platform,
+            profiles,
+            sys_config: SystemConfig::default(),
+            max_epochs: 2_000,
+        }
+    }
+
+    /// Splits `profile` into `threads` parallel worker tasks, each
+    /// handling `1/threads` of the work — the paper's "different levels
+    /// of parallelization (2, 4, 8 threads)".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn parallelize(profile: &WorkloadProfile, threads: usize) -> Vec<WorkloadProfile> {
+        assert!(threads > 0, "need at least one thread");
+        let share = profile.scaled(1.0 / threads as f64);
+        (0..threads).map(|_| share.clone()).collect()
+    }
+}
+
+/// Result of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Experiment label.
+    pub experiment: String,
+    /// Policy name (from [`LoadBalancer::name`]).
+    pub policy: String,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Whether every task completed within the epoch limit.
+    pub completed: bool,
+    /// Final system statistics.
+    pub stats: SystemStats,
+}
+
+impl RunResult {
+    /// Energy efficiency in instructions per joule (≡ IPS/Watt).
+    pub fn energy_efficiency(&self) -> f64 {
+        self.stats.instructions_per_joule()
+    }
+
+    /// Ratio of this run's energy efficiency to `baseline`'s (>1 means
+    /// better than baseline; Fig. 4/5's y-axis).
+    pub fn efficiency_vs(&self, baseline: &RunResult) -> f64 {
+        let b = baseline.energy_efficiency();
+        if b <= 0.0 {
+            0.0
+        } else {
+            self.energy_efficiency() / b
+        }
+    }
+}
+
+/// Runs `spec` under the given balancer until all tasks complete (or
+/// the epoch limit hits) and returns the measurements.
+pub fn run_experiment(spec: &ExperimentSpec, balancer: &mut dyn LoadBalancer) -> RunResult {
+    let mut sys = System::new(spec.platform.clone(), spec.sys_config);
+    for profile in &spec.profiles {
+        sys.spawn(profile.clone());
+    }
+    let epochs = sys.run_to_completion(balancer, spec.max_epochs);
+    let stats = sys.stats();
+    RunResult {
+        experiment: spec.name.clone(),
+        policy: balancer.name().to_owned(),
+        epochs,
+        completed: stats.live_tasks == 0,
+        stats,
+    }
+}
+
+/// Runs `spec` under each policy and returns the results in the same
+/// order.
+pub fn compare_policies(spec: &ExperimentSpec, policies: &[Policy]) -> Vec<RunResult> {
+    policies
+        .iter()
+        .map(|&p| {
+            let mut balancer = p.build(&spec.platform);
+            run_experiment(spec, balancer.as_mut())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::WorkloadCharacteristics;
+
+    fn small_spec() -> ExperimentSpec {
+        let profiles = vec![
+            WorkloadProfile::uniform("a", WorkloadCharacteristics::compute_bound(), 30_000_000),
+            WorkloadProfile::uniform("b", WorkloadCharacteristics::memory_bound(), 10_000_000),
+        ];
+        ExperimentSpec::new("test", Platform::quad_heterogeneous(), profiles)
+    }
+
+    #[test]
+    fn run_completes_and_reports() {
+        let spec = small_spec();
+        let mut b = Policy::Vanilla.build(&spec.platform);
+        let r = run_experiment(&spec, b.as_mut());
+        assert!(r.completed);
+        assert_eq!(r.policy, "vanilla");
+        assert!(r.energy_efficiency() > 0.0);
+        assert!(r.stats.total_instructions >= 40_000_000);
+    }
+
+    #[test]
+    fn parallelize_splits_work() {
+        let p = WorkloadProfile::uniform("x", WorkloadCharacteristics::balanced(), 1_000_000);
+        let parts = ExperimentSpec::parallelize(&p, 4);
+        assert_eq!(parts.len(), 4);
+        let total: u64 = parts.iter().map(|q| q.total_instructions()).sum();
+        assert!((total as i64 - 1_000_000).abs() < 8);
+    }
+
+    #[test]
+    fn policy_builders_report_names() {
+        let quad = Platform::quad_heterogeneous();
+        let bl = Platform::octa_big_little();
+        assert_eq!(Policy::None.build(&quad).name(), "none");
+        assert_eq!(Policy::Vanilla.build(&quad).name(), "vanilla");
+        assert_eq!(Policy::Gts.build(&bl).name(), "gts");
+        assert_eq!(Policy::Iks.build(&bl).name(), "iks");
+        assert_eq!(Policy::Smart.build(&quad).name(), "smartbalance");
+    }
+
+    #[test]
+    fn edp_goal_runs_end_to_end() {
+        use crate::config::SmartBalanceConfig;
+        use crate::objective::Goal;
+        let spec = small_spec();
+        let mut policy = Policy::Smart.build_with(
+            &spec.platform,
+            SmartBalanceConfig {
+                goal: Goal::EnergyDelayProduct,
+                ..SmartBalanceConfig::default()
+            },
+        );
+        let r = run_experiment(&spec, policy.as_mut());
+        assert!(r.completed);
+        assert!(r.energy_efficiency() > 0.0);
+    }
+
+    #[test]
+    fn compare_runs_all_policies() {
+        let spec = small_spec();
+        let results = compare_policies(&spec, &[Policy::None, Policy::Vanilla, Policy::Smart]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].policy, "none");
+        assert_eq!(results[1].policy, "vanilla");
+        assert_eq!(results[2].policy, "smartbalance");
+        for r in &results {
+            assert!(r.completed, "{} did not finish", r.policy);
+        }
+        // Efficiency ratio helper.
+        let ratio = results[2].efficiency_vs(&results[1]);
+        assert!(ratio > 0.0);
+    }
+}

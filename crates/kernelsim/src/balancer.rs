@@ -1,0 +1,322 @@
+//! Load-balancer plug-in interface.
+//!
+//! The simulator's equivalent of the kernel's `rebalance_domains()`
+//! hook that the paper re-implements (Section 5.1): at every epoch
+//! boundary the system hands the balancer an [`EpochReport`] — the
+//! sensing data gathered since the previous epoch — and the balancer
+//! may return a new thread-to-core [`Allocation`], which the system
+//! applies via migration (the kernel's `set_cpus_allowed_ptr()` path).
+
+use std::collections::BTreeMap;
+
+use archsim::{CoreId, CounterSample, Platform};
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskId;
+
+/// Per-task sensing data for one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskEpochStats {
+    /// Task id.
+    pub task: TaskId,
+    /// Core the task ran on during the epoch.
+    pub core: CoreId,
+    /// Hardware-counter deltas attributed to the task.
+    pub counters: CounterSample,
+    /// CPU time the task received, nanoseconds.
+    pub runtime_ns: u64,
+    /// Energy attributed to the task, joules.
+    pub energy_j: f64,
+    /// Fraction of the epoch the task occupied a CPU (`runtime/epoch`).
+    pub utilization: f64,
+    /// Whether the task is still live (runnable or sleeping).
+    pub alive: bool,
+    /// Whether this is a kernel thread.
+    pub kernel_thread: bool,
+    /// CFS load weight.
+    pub weight: u64,
+    /// CPU-affinity mask (bit `j` = core `j` allowed).
+    pub allowed: u64,
+}
+
+impl TaskEpochStats {
+    /// Whether the task may run on `core` per its affinity mask.
+    pub fn allows_core(&self, core: CoreId) -> bool {
+        core.0 < 64 && self.allowed & (1 << core.0) != 0
+            || core.0 >= 64 && self.allowed == u64::MAX
+    }
+
+    /// Measured throughput over the task's own runtime, instructions
+    /// per second (`ips_ij(k)` of paper Eq. 4); 0 if it never ran.
+    pub fn ips(&self) -> f64 {
+        if self.runtime_ns == 0 {
+            0.0
+        } else {
+            self.counters.instructions as f64 / (self.runtime_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Measured average power over the task's own runtime, watts
+    /// (`p_ij(k)` of paper Eq. 5); 0 if it never ran.
+    pub fn power_w(&self) -> f64 {
+        if self.runtime_ns == 0 {
+            0.0
+        } else {
+            self.energy_j / (self.runtime_ns as f64 * 1e-9)
+        }
+    }
+}
+
+/// Per-core sensing data for one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreEpochStats {
+    /// Core id.
+    pub core: CoreId,
+    /// Aggregate counter deltas over the epoch.
+    pub counters: CounterSample,
+    /// Time the core executed tasks, nanoseconds.
+    pub busy_ns: u64,
+    /// Time the core was power-gated, nanoseconds.
+    pub sleep_ns: u64,
+    /// Energy consumed during the epoch, joules.
+    pub energy_j: f64,
+}
+
+impl CoreEpochStats {
+    /// Average power over the epoch, watts.
+    pub fn power_w(&self, epoch_ns: u64) -> f64 {
+        if epoch_ns == 0 {
+            0.0
+        } else {
+            self.energy_j / (epoch_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Core throughput over the epoch, instructions per second
+    /// (`IPS_j(k)`).
+    pub fn ips(&self, epoch_ns: u64) -> f64 {
+        if epoch_ns == 0 {
+            0.0
+        } else {
+            self.counters.instructions as f64 / (epoch_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Core utilization: busy fraction of the epoch.
+    pub fn utilization(&self, epoch_ns: u64) -> f64 {
+        if epoch_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / epoch_ns as f64
+        }
+    }
+}
+
+/// The sensing snapshot handed to the balancer at each epoch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch sequence number (k).
+    pub epoch: u64,
+    /// Epoch duration, nanoseconds.
+    pub duration_ns: u64,
+    /// Absolute simulation time at the end of the epoch, nanoseconds.
+    pub now_ns: u64,
+    /// Per-task stats, for every task that is alive (and any that
+    /// exited during the epoch, flagged `alive = false`).
+    pub tasks: Vec<TaskEpochStats>,
+    /// Per-core stats.
+    pub cores: Vec<CoreEpochStats>,
+}
+
+/// A thread-to-core assignment (`Ψ(k)` of paper Eq. 1). Tasks absent
+/// from the map keep their current core.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    assignments: BTreeMap<TaskId, CoreId>,
+}
+
+impl Allocation {
+    /// An empty allocation (no migrations).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `task` to `core`, returning the previous assignment if
+    /// one existed.
+    pub fn assign(&mut self, task: TaskId, core: CoreId) -> Option<CoreId> {
+        self.assignments.insert(task, core)
+    }
+
+    /// The core assigned to `task`, if any.
+    pub fn core_of(&self, task: TaskId) -> Option<CoreId> {
+        self.assignments.get(&task).copied()
+    }
+
+    /// Number of explicit assignments.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` when no task is explicitly assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Iterator over `(task, core)` assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, CoreId)> + '_ {
+        self.assignments.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Tasks assigned to `core`.
+    pub fn tasks_on(&self, core: CoreId) -> Vec<TaskId> {
+        self.assignments
+            .iter()
+            .filter(|&(_, &c)| c == core)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+}
+
+impl FromIterator<(TaskId, CoreId)> for Allocation {
+    fn from_iter<I: IntoIterator<Item = (TaskId, CoreId)>>(iter: I) -> Self {
+        Allocation {
+            assignments: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(TaskId, CoreId)> for Allocation {
+    fn extend<I: IntoIterator<Item = (TaskId, CoreId)>>(&mut self, iter: I) {
+        self.assignments.extend(iter);
+    }
+}
+
+/// A pluggable load balancer, invoked at every epoch boundary.
+///
+/// Implementations: the vanilla Linux balancer, ARM GTS and
+/// SmartBalance itself all live in the `smartbalance` crate; this trait
+/// is the seam between the OS substrate and the policies.
+pub trait LoadBalancer {
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &str;
+
+    /// Computes a new allocation from the epoch's sensing data, or
+    /// `None` to leave every task where it is.
+    fn rebalance(&mut self, platform: &Platform, report: &EpochReport) -> Option<Allocation>;
+}
+
+/// The null balancer: never migrates anything. Useful as an
+/// experimental control and for tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullBalancer;
+
+impl LoadBalancer for NullBalancer {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn rebalance(&mut self, _platform: &Platform, _report: &EpochReport) -> Option<Allocation> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_basics() {
+        let mut a = Allocation::new();
+        assert!(a.is_empty());
+        assert_eq!(a.assign(TaskId(1), CoreId(2)), None);
+        assert_eq!(a.assign(TaskId(1), CoreId(3)), Some(CoreId(2)));
+        a.assign(TaskId(2), CoreId(3));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.core_of(TaskId(1)), Some(CoreId(3)));
+        assert_eq!(a.core_of(TaskId(9)), None);
+        assert_eq!(a.tasks_on(CoreId(3)), vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn allocation_from_iterator() {
+        let a: Allocation = [(TaskId(0), CoreId(1)), (TaskId(1), CoreId(0))]
+            .into_iter()
+            .collect();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.core_of(TaskId(0)), Some(CoreId(1)));
+    }
+
+    #[test]
+    fn task_stats_rates() {
+        let s = TaskEpochStats {
+            task: TaskId(0),
+            core: CoreId(0),
+            counters: CounterSample {
+                instructions: 1_000_000,
+                ..Default::default()
+            },
+            runtime_ns: 1_000_000, // 1 ms
+            energy_j: 2.0e-3,
+            utilization: 0.5,
+            alive: true,
+            kernel_thread: false,
+            weight: 1024,
+            allowed: u64::MAX,
+        };
+        assert!((s.ips() - 1.0e9).abs() < 1.0);
+        assert!((s.power_w() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_runtime_task_rates_are_zero() {
+        let s = TaskEpochStats {
+            task: TaskId(0),
+            core: CoreId(0),
+            counters: CounterSample::default(),
+            runtime_ns: 0,
+            energy_j: 0.0,
+            utilization: 0.0,
+            alive: true,
+            kernel_thread: false,
+            weight: 1024,
+            allowed: u64::MAX,
+        };
+        assert_eq!(s.ips(), 0.0);
+        assert_eq!(s.power_w(), 0.0);
+    }
+
+    #[test]
+    fn core_stats_rates() {
+        let s = CoreEpochStats {
+            core: CoreId(0),
+            counters: CounterSample {
+                instructions: 60_000_000,
+                ..Default::default()
+            },
+            busy_ns: 30_000_000,
+            sleep_ns: 30_000_000,
+            energy_j: 0.06,
+        };
+        let epoch = 60_000_000;
+        assert!((s.ips(epoch) - 1.0e9).abs() < 1.0);
+        assert!((s.power_w(epoch) - 1.0).abs() < 1e-12);
+        assert!((s.utilization(epoch) - 0.5).abs() < 1e-12);
+        assert_eq!(s.ips(0), 0.0);
+    }
+
+    #[test]
+    fn null_balancer_never_migrates() {
+        let mut nb = NullBalancer;
+        let report = EpochReport {
+            epoch: 0,
+            duration_ns: 1,
+            now_ns: 1,
+            tasks: vec![],
+            cores: vec![],
+        };
+        assert_eq!(nb.name(), "none");
+        assert!(nb
+            .rebalance(&Platform::quad_heterogeneous(), &report)
+            .is_none());
+    }
+}

@@ -1,0 +1,928 @@
+//! The machine: platform + tasks + per-core CFS queues + sensors,
+//! advanced period-by-period by a deterministic discrete-event loop.
+//!
+//! Each core independently schedules its run queue within every CFS
+//! scheduling period (`T_jk(l)` in the paper); per-slice execution is
+//! delegated to `archsim` and energy to `mcpat`. At every epoch
+//! boundary (L periods, Fig. 2) the system builds an [`EpochReport`]
+//! — the sense phase — hands it to the pluggable balancer, and applies
+//! the returned allocation through the migration path.
+
+use archsim::{estimate, run_slice, CoreId, CounterSample, Platform, SensorBank};
+use mcpat::{EnergyMeter, PowerState};
+use serde::{Deserialize, Serialize};
+use workloads::WorkloadProfile;
+
+use crate::balancer::{Allocation, CoreEpochStats, EpochReport, LoadBalancer, TaskEpochStats};
+use crate::cfs::CfsRunQueue;
+use crate::stats::SystemStats;
+use crate::task::{Task, TaskId, TaskState};
+use crate::trace::{TraceEvent, TraceLevel, Tracer};
+
+/// Simulation configuration: the timing constants of paper Fig. 1(c)/2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// CFS scheduling-period length `T_jk`, nanoseconds (default 6 ms).
+    pub period_ns: u64,
+    /// Scheduling periods per SmartBalance epoch `L` (default 10, i.e.
+    /// the paper's 60 ms epoch).
+    pub epoch_periods: u64,
+    /// Cost charged to a migrated thread before it makes progress on
+    /// its new core (cold caches), nanoseconds.
+    pub migration_cost_ns: u64,
+    /// Activity factor billed while a migrated thread refills caches.
+    pub migration_activity: f64,
+}
+
+impl SystemConfig {
+    /// Epoch length in nanoseconds (`period_ns * epoch_periods`).
+    pub fn epoch_ns(&self) -> u64 {
+        self.period_ns * self.epoch_periods
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            period_ns: 6_000_000,
+            epoch_periods: 10,
+            migration_cost_ns: 50_000,
+            migration_activity: 0.3,
+        }
+    }
+}
+
+/// Smallest slice the scheduler will dispatch, ns; bounds the event
+/// loop's work per period.
+const SLICE_FLOOR_NS: u64 = 10_000;
+
+/// Per-core accounting accumulated within the current epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct CoreEpochAccum {
+    counters: CounterSample,
+    busy_ns: u64,
+    sleep_ns: u64,
+    energy_j: f64,
+}
+
+/// The simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use archsim::{Platform, WorkloadCharacteristics};
+/// use kernelsim::{NullBalancer, System, SystemConfig};
+/// use workloads::WorkloadProfile;
+///
+/// let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+/// sys.spawn(WorkloadProfile::uniform(
+///     "w",
+///     WorkloadCharacteristics::balanced(),
+///     10_000_000,
+/// ));
+/// let mut balancer = NullBalancer;
+/// sys.run_epoch(&mut balancer);
+/// assert!(sys.stats().total_instructions > 0);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    platform: Platform,
+    config: SystemConfig,
+    tasks: Vec<Task>,
+    queues: Vec<CfsRunQueue>,
+    meter: EnergyMeter,
+    sensors: SensorBank,
+    now_ns: u64,
+    epoch_index: u64,
+    core_epoch: Vec<CoreEpochAccum>,
+    total_migrations: u64,
+    tracer: Tracer,
+}
+
+impl System {
+    /// Creates an idle system on `platform`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.period_ns` or `config.epoch_periods` is zero,
+    /// or the migration activity is outside `[0, 1]`.
+    pub fn new(platform: Platform, config: SystemConfig) -> Self {
+        assert!(config.period_ns > 0, "scheduling period must be positive");
+        assert!(config.epoch_periods > 0, "an epoch needs at least one period");
+        assert!(
+            (0.0..=1.0).contains(&config.migration_activity),
+            "migration activity must be in [0, 1]"
+        );
+        let n = platform.num_cores();
+        let meter = EnergyMeter::new(&platform);
+        let sensors = SensorBank::new(&platform);
+        System {
+            platform,
+            config,
+            tasks: Vec::new(),
+            queues: vec![CfsRunQueue::new(); n],
+            meter,
+            sensors,
+            now_ns: 0,
+            epoch_index: 0,
+            core_epoch: vec![CoreEpochAccum::default(); n],
+            total_migrations: 0,
+            tracer: Tracer::default(),
+        }
+    }
+
+    /// Enables scheduler event tracing at `level`, keeping at most
+    /// `capacity` events in a ring buffer (the simulator's `ftrace`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` while `level` is not `Off`.
+    pub fn enable_tracing(&mut self, level: TraceLevel, capacity: usize) {
+        self.tracer = Tracer::new(level, capacity);
+    }
+
+    /// The event tracer (empty unless tracing was enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Current simulation time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Number of epochs completed.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epoch_index
+    }
+
+    /// All tasks ever spawned (including exited ones).
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Reference to one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never spawned.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// The free-running sensor bank (counters + energy per core).
+    pub fn sensors(&self) -> &SensorBank {
+        &self.sensors
+    }
+
+    /// Spawns a task on the least-loaded core (the kernel's fork-time
+    /// wake balancing), returning its id.
+    pub fn spawn(&mut self, profile: WorkloadProfile) -> TaskId {
+        let core = self.least_loaded_core();
+        self.spawn_on(profile, core)
+    }
+
+    /// Spawns a task pinned initially to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the platform.
+    pub fn spawn_on(&mut self, profile: WorkloadProfile, core: CoreId) -> TaskId {
+        assert!(core.0 < self.platform.num_cores(), "no such core {core}");
+        let id = TaskId(self.tasks.len());
+        let task = Task::new(id, profile, core);
+        self.enqueue_task_struct(task)
+    }
+
+    /// Spawns a pre-built task (use [`Task::new`] plus builders for
+    /// nice values, kernel threads or repeating servers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task's id does not equal the next free id, or its
+    /// core is out of range.
+    pub fn spawn_task(&mut self, task: Task) -> TaskId {
+        assert_eq!(
+            task.id().0,
+            self.tasks.len(),
+            "task id must be the next free id (use System::next_task_id)"
+        );
+        assert!(
+            task.core().0 < self.platform.num_cores(),
+            "no such core {}",
+            task.core()
+        );
+        self.enqueue_task_struct(task)
+    }
+
+    /// The id the next spawned task will receive.
+    pub fn next_task_id(&self) -> TaskId {
+        TaskId(self.tasks.len())
+    }
+
+    fn enqueue_task_struct(&mut self, mut task: Task) -> TaskId {
+        let id = task.id();
+        let core = task.core();
+        if matches!(task.state(), TaskState::Runnable) {
+            let v = self.queues[core.0].enqueue(id, task.vruntime_ns, task.weight());
+            task.vruntime_ns = v;
+        }
+        self.tasks.push(task);
+        self.tracer.record(TraceEvent::Spawn {
+            at_ns: self.now_ns,
+            task: id,
+            core,
+        });
+        id
+    }
+
+    fn least_loaded_core(&self) -> CoreId {
+        let mut best = CoreId(0);
+        let mut best_weight = u64::MAX;
+        for c in self.platform.cores() {
+            let w: u64 = self
+                .tasks
+                .iter()
+                .filter(|t| t.core() == c && !t.is_exited())
+                .map(Task::weight)
+                .sum();
+            if w < best_weight {
+                best_weight = w;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Number of live (non-exited) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.is_exited()).count()
+    }
+
+    /// Runs one CFS scheduling period on every core.
+    pub fn run_period(&mut self) {
+        let period = self.config.period_ns;
+        let start = self.now_ns;
+        for j in 0..self.platform.num_cores() {
+            self.simulate_core_period(CoreId(j), start, start + period);
+        }
+        self.now_ns = start + period;
+    }
+
+    /// Runs a full epoch (L periods), then performs the
+    /// sense → balance hand-off with `balancer` and applies any
+    /// returned allocation. Returns the epoch's sensing report.
+    pub fn run_epoch(&mut self, balancer: &mut dyn LoadBalancer) -> EpochReport {
+        for _ in 0..self.config.epoch_periods {
+            self.run_period();
+        }
+        let report = self.build_epoch_report();
+        if let Some(alloc) = balancer.rebalance(&self.platform, &report) {
+            self.apply_allocation(&alloc);
+        }
+        self.finish_epoch();
+        report
+    }
+
+    /// Runs epochs until every task has exited or `max_epochs` elapse;
+    /// returns the number of epochs executed.
+    pub fn run_to_completion(
+        &mut self,
+        balancer: &mut dyn LoadBalancer,
+        max_epochs: u64,
+    ) -> u64 {
+        let mut epochs = 0;
+        while epochs < max_epochs && self.live_tasks() > 0 {
+            self.run_epoch(balancer);
+            epochs += 1;
+        }
+        epochs
+    }
+
+    // ------------------------------------------------------------------
+    // Core-local scheduling
+    // ------------------------------------------------------------------
+
+    fn simulate_core_period(&mut self, core: CoreId, start_ns: u64, end_ns: u64) {
+        let mut t = start_ns;
+        while t < end_ns {
+            self.wake_due(core, t);
+            let Some(tid) = self.queues[core.0].pick_next() else {
+                // No runnable task: power-gate until the next wake-up
+                // (or the end of the period).
+                let next = self
+                    .next_wake_ns(core)
+                    .map_or(end_ns, |w| w.clamp(t + 1, end_ns));
+                self.account_sleep(core, next - t);
+                t = next;
+                continue;
+            };
+            let slice_ns = self.slice_bound(core, tid, t, end_ns);
+            let ran = self.dispatch(core, tid, t, slice_ns);
+            t += ran.max(1);
+        }
+    }
+
+    /// Upper bound for the next slice of `tid` on `core` at time `t`.
+    fn slice_bound(&self, core: CoreId, tid: TaskId, t: u64, end_ns: u64) -> u64 {
+        let rq = &self.queues[core.0];
+        let weight = self.tasks[tid.0].weight();
+        let mut slice = rq.timeslice_ns(weight, self.config.period_ns);
+        // Serve imminent wake-ups promptly (poor man's wake preemption).
+        if let Some(w) = self.next_wake_ns(core) {
+            if w > t {
+                slice = slice.min(w - t);
+            }
+        }
+        slice = slice.min(end_ns - t);
+        slice.max(SLICE_FLOOR_NS.min(end_ns - t))
+    }
+
+    /// Runs `tid` on `core` for at most `max_ns`; returns actual time.
+    fn dispatch(&mut self, core: CoreId, tid: TaskId, t: u64, max_ns: u64) -> u64 {
+        let cfg = self.platform.core_config(core).clone();
+        let weight = self.tasks[tid.0].weight();
+        let vruntime = self.tasks[tid.0].vruntime_ns;
+        self.queues[core.0].dequeue(tid, vruntime, weight);
+
+        let mut consumed = 0u64;
+
+        // 1. Pay any outstanding migration debt (cold caches).
+        {
+            let debt = self.tasks[tid.0].migration_debt_ns;
+            if debt > 0 {
+                let pay = debt.min(max_ns);
+                let cycles = (pay as f64 * 1e-9 * cfg.freq_hz).round() as u64;
+                let counters = CounterSample {
+                    cy_idle: cycles,
+                    ..Default::default()
+                };
+                let energy = self.meter.accumulate(
+                    core,
+                    PowerState::Active {
+                        activity: self.config.migration_activity,
+                    },
+                    pay,
+                );
+                self.charge(core, tid, counters, pay, energy);
+                self.tasks[tid.0].migration_debt_ns -= pay;
+                consumed += pay;
+            }
+        }
+
+        // 2. Useful execution for the remaining time.
+        if consumed < max_ns {
+            let budget_ns = max_ns - consumed;
+            let task = &self.tasks[tid.0];
+            let w = *task.profile().characteristics_at(task.progress());
+            let est = estimate(&w, &cfg);
+            let ips = (est.ipc * cfg.freq_hz).max(1.0);
+
+            // Bound the slice so it stays within the current phase, the
+            // current interactive burst and the profile end.
+            let mut max_instr = task
+                .profile()
+                .remaining_in_phase(task.progress())
+                .unwrap_or(u64::MAX)
+                .min(task.remaining_instructions().max(1));
+            if let Some(burst) = task.remaining_burst() {
+                max_instr = max_instr.min(burst);
+            }
+            let time_for_max = ((max_instr as f64 / ips) * 1e9).ceil() as u64;
+            let work_ns = budget_ns.min(time_for_max).max(1);
+
+            let slice = run_slice(&w, &cfg, work_ns);
+            let instr = slice.instructions.min(max_instr);
+            let energy = self.meter.accumulate(
+                core,
+                PowerState::Active {
+                    activity: slice.activity,
+                },
+                work_ns,
+            );
+            self.charge(core, tid, slice.counters, work_ns, energy);
+            consumed += work_ns;
+
+            // 3. State transitions.
+            let now = t + consumed;
+            let task = &mut self.tasks[tid.0];
+            task.progress += instr;
+            task.burst_progress += instr;
+            task.total_instructions += instr;
+            task.epoch.slices += 1;
+
+            if task.progress >= task.profile().total_instructions() {
+                if task.is_repeating() {
+                    task.iterations += 1;
+                    task.progress = 0;
+                    task.burst_progress = 0;
+                } else {
+                    task.state = TaskState::Exited;
+                    task.exited_at_ns = Some(now);
+                    self.tracer.record(TraceEvent::Exit { at_ns: now, task: tid });
+                }
+            }
+            let task = &mut self.tasks[tid.0];
+            if !task.is_exited() {
+                if let Some(pattern) = task.profile().sleep_pattern() {
+                    if task.burst_progress >= pattern.burst_instructions && pattern.sleep_ns > 0 {
+                        task.burst_progress = 0;
+                        let wake_at_ns = now + pattern.sleep_ns;
+                        task.state = TaskState::Sleeping { wake_at_ns };
+                        self.tracer.record(TraceEvent::Sleep {
+                            at_ns: now,
+                            task: tid,
+                            wake_at_ns,
+                        });
+                    }
+                }
+            }
+            self.tracer.record(TraceEvent::Slice {
+                at_ns: t,
+                task: tid,
+                core,
+                duration_ns: work_ns,
+                instructions: instr,
+            });
+        }
+
+        // 4. Update vruntime and requeue if still runnable.
+        let task = &mut self.tasks[tid.0];
+        task.vruntime_ns += CfsRunQueue::vruntime_delta(consumed, weight);
+        let new_v = task.vruntime_ns;
+        self.queues[core.0].advance_min_vruntime(new_v);
+        if matches!(task.state, TaskState::Runnable) {
+            let v = self.queues[core.0].enqueue(tid, new_v, weight);
+            self.tasks[tid.0].vruntime_ns = v;
+        }
+        consumed
+    }
+
+    /// Attributes a slice's counters/time/energy to both the task and
+    /// the core (they must always agree — the estimation invariant).
+    fn charge(
+        &mut self,
+        core: CoreId,
+        tid: TaskId,
+        counters: CounterSample,
+        duration_ns: u64,
+        energy_j: f64,
+    ) {
+        let task = &mut self.tasks[tid.0];
+        task.epoch.counters += counters;
+        task.epoch.runtime_ns += duration_ns;
+        task.epoch.energy_j += energy_j;
+        task.total_runtime_ns += duration_ns;
+
+        let accum = &mut self.core_epoch[core.0];
+        accum.counters += counters;
+        accum.busy_ns += duration_ns;
+        accum.energy_j += energy_j;
+
+        self.sensors.record(core, counters, energy_j, duration_ns);
+    }
+
+    fn account_sleep(&mut self, core: CoreId, duration_ns: u64) {
+        let cfg = self.platform.core_config(core);
+        let cycles = (duration_ns as f64 * 1e-9 * cfg.freq_hz).round() as u64;
+        let counters = CounterSample {
+            cy_sleep: cycles,
+            ..Default::default()
+        };
+        let energy = self
+            .meter
+            .accumulate(core, PowerState::Sleeping, duration_ns);
+        let accum = &mut self.core_epoch[core.0];
+        accum.counters += counters;
+        accum.sleep_ns += duration_ns;
+        accum.energy_j += energy;
+        self.sensors.record(core, counters, energy, duration_ns);
+    }
+
+    fn wake_due(&mut self, core: CoreId, t: u64) {
+        for i in 0..self.tasks.len() {
+            let task = &self.tasks[i];
+            if task.core() != core {
+                continue;
+            }
+            if let TaskState::Sleeping { wake_at_ns } = task.state {
+                if wake_at_ns <= t {
+                    let tid = task.id();
+                    let weight = task.weight();
+                    let vr = task.vruntime_ns;
+                    self.tasks[i].state = TaskState::Runnable;
+                    let v = self.queues[core.0].enqueue(tid, vr, weight);
+                    self.tasks[i].vruntime_ns = v;
+                    self.tracer.record(TraceEvent::Wake { at_ns: t, task: tid });
+                }
+            }
+        }
+    }
+
+    fn next_wake_ns(&self, core: CoreId) -> Option<u64> {
+        self.tasks
+            .iter()
+            .filter(|t| t.core() == core)
+            .filter_map(|t| match t.state {
+                TaskState::Sleeping { wake_at_ns } => Some(wake_at_ns),
+                _ => None,
+            })
+            .min()
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch boundary: sensing report, migration, bookkeeping
+    // ------------------------------------------------------------------
+
+    fn build_epoch_report(&self) -> EpochReport {
+        let duration_ns = self.config.epoch_ns();
+        let tasks = self
+            .tasks
+            .iter()
+            .filter(|t| !t.is_exited() || t.epoch.runtime_ns > 0)
+            .map(|t| TaskEpochStats {
+                task: t.id(),
+                core: t.core(),
+                counters: t.epoch.counters,
+                runtime_ns: t.epoch.runtime_ns,
+                energy_j: t.epoch.energy_j,
+                utilization: t.epoch.runtime_ns as f64 / duration_ns as f64,
+                alive: !t.is_exited(),
+                kernel_thread: t.is_kernel_thread(),
+                weight: t.weight(),
+                allowed: t.affinity(),
+            })
+            .collect();
+        let cores = self
+            .platform
+            .cores()
+            .map(|c| {
+                let a = &self.core_epoch[c.0];
+                CoreEpochStats {
+                    core: c,
+                    counters: a.counters,
+                    busy_ns: a.busy_ns,
+                    sleep_ns: a.sleep_ns,
+                    energy_j: a.energy_j,
+                }
+            })
+            .collect();
+        EpochReport {
+            epoch: self.epoch_index,
+            duration_ns,
+            now_ns: self.now_ns,
+            tasks,
+            cores,
+        }
+    }
+
+    /// Applies a new allocation: migrates every live task whose target
+    /// differs from its current core (the `set_cpus_allowed_ptr()`
+    /// path), charging the migration cost.
+    pub fn apply_allocation(&mut self, alloc: &Allocation) {
+        for (tid, target) in alloc.iter() {
+            if tid.0 >= self.tasks.len() || target.0 >= self.platform.num_cores() {
+                continue; // stale or invalid entry: ignore defensively
+            }
+            let (current, state, weight, vr) = {
+                let t = &self.tasks[tid.0];
+                (t.core(), t.state, t.weight(), t.vruntime_ns)
+            };
+            if current == target || matches!(state, TaskState::Exited) {
+                continue;
+            }
+            if !self.tasks[tid.0].allows_core(target) {
+                continue; // affinity forbids the move: ignore defensively
+            }
+            if matches!(state, TaskState::Runnable) {
+                self.queues[current.0].dequeue(tid, vr, weight);
+                let v = self.queues[target.0].enqueue(tid, vr, weight);
+                self.tasks[tid.0].vruntime_ns = v;
+            }
+            let task = &mut self.tasks[tid.0];
+            task.core = target;
+            task.migration_debt_ns += self.config.migration_cost_ns;
+            task.migrations += 1;
+            self.total_migrations += 1;
+            self.tracer.record(TraceEvent::Migrate {
+                at_ns: self.now_ns,
+                task: tid,
+                from: current,
+                to: target,
+            });
+        }
+    }
+
+    fn finish_epoch(&mut self) {
+        self.tracer.record(TraceEvent::EpochEnd {
+            at_ns: self.now_ns,
+            epoch: self.epoch_index,
+        });
+        for t in &mut self.tasks {
+            t.reset_epoch();
+        }
+        for a in &mut self.core_epoch {
+            *a = CoreEpochAccum::default();
+        }
+        self.epoch_index += 1;
+    }
+
+    /// Whole-run summary statistics.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats::collect(self)
+    }
+
+    /// Total migrations performed since boot.
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    pub(crate) fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::NullBalancer;
+    use archsim::WorkloadCharacteristics;
+    use workloads::SleepPattern;
+
+    fn cpu_profile(instr: u64) -> WorkloadProfile {
+        WorkloadProfile::uniform("cpu", WorkloadCharacteristics::balanced(), instr)
+    }
+
+    #[test]
+    fn single_task_runs_and_exits() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.spawn_on(cpu_profile(1_000_000), CoreId(1));
+        let mut nb = NullBalancer;
+        let epochs = sys.run_to_completion(&mut nb, 100);
+        assert!(epochs >= 1);
+        let t = sys.task(tid);
+        assert!(t.is_exited());
+        assert!(t.total_instructions() >= 1_000_000);
+        assert!(t.exited_at_ns().is_some());
+        assert_eq!(sys.live_tasks(), 0);
+    }
+
+    #[test]
+    fn time_advances_by_period() {
+        let cfg = SystemConfig::default();
+        let mut sys = System::new(Platform::quad_heterogeneous(), cfg);
+        sys.run_period();
+        assert_eq!(sys.now_ns(), cfg.period_ns);
+        let mut nb = NullBalancer;
+        sys.run_epoch(&mut nb);
+        assert_eq!(sys.now_ns(), cfg.period_ns + cfg.epoch_ns());
+        assert_eq!(sys.epochs_completed(), 1);
+    }
+
+    #[test]
+    fn idle_cores_sleep_and_draw_little_power() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let mut nb = NullBalancer;
+        sys.run_epoch(&mut nb);
+        // All-idle platform: energy is only sleep power.
+        let e = sys.sensors().total_energy_j();
+        // Sum of sleep powers: 2% of (8.62+1.41+0.53+0.095) over 60 ms.
+        let expected = 0.02 * (8.62 + 1.41 + 0.53 + 0.095) * 0.06;
+        assert!((e - expected).abs() / expected < 0.01, "e={e} expected={expected}");
+    }
+
+    #[test]
+    fn two_equal_tasks_share_a_core_fairly() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let a = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(2));
+        let b = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(2));
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        let ra = report.tasks.iter().find(|t| t.task == a).expect("a in report");
+        let rb = report.tasks.iter().find(|t| t.task == b).expect("b in report");
+        let ratio = ra.runtime_ns as f64 / rb.runtime_ns as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "CFS fairness violated: {ratio}");
+        // Together they filled the epoch.
+        let total = ra.runtime_ns + rb.runtime_ns;
+        assert!((total as f64 / report.duration_ns as f64 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_tasks_share_proportionally() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let heavy = sys.next_task_id();
+        sys.spawn_task(Task::new(heavy, cpu_profile(u64::MAX / 4), CoreId(1)).with_nice(-5));
+        let light = sys.next_task_id();
+        sys.spawn_task(Task::new(light, cpu_profile(u64::MAX / 4), CoreId(1)).with_nice(5));
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        let rh = report.tasks.iter().find(|t| t.task == heavy).expect("heavy");
+        let rl = report.tasks.iter().find(|t| t.task == light).expect("light");
+        // weight(-5)=3121, weight(5)=335: ratio ~9.3, allow slack for
+        // min-granularity rounding.
+        let ratio = rh.runtime_ns as f64 / rl.runtime_ns as f64;
+        assert!(ratio > 4.0, "heavy should dominate: {ratio}");
+    }
+
+    #[test]
+    fn interactive_task_sleeps() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let p = cpu_profile(1_000_000_000)
+            .with_sleep(SleepPattern::new(1_000_000, 5_000_000));
+        let tid = sys.spawn_on(p, CoreId(0));
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        let rt = report.tasks.iter().find(|t| t.task == tid).expect("t");
+        // Duty cycle must be well below 1: the task sleeps most of the time.
+        assert!(
+            rt.utilization < 0.6,
+            "interactive task should sleep: util {}",
+            rt.utilization
+        );
+        assert!(rt.utilization > 0.01);
+        // The core slept while the task slept.
+        assert!(report.cores[0].sleep_ns > 0);
+    }
+
+    #[test]
+    fn task_and_core_accounting_agree() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(3));
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        for core in [CoreId(0), CoreId(3)] {
+            let task_instr: u64 = report
+                .tasks
+                .iter()
+                .filter(|t| t.core == core)
+                .map(|t| t.counters.instructions)
+                .sum();
+            let core_instr = report.cores[core.0].counters.instructions;
+            assert_eq!(task_instr, core_instr, "core {core} ledger mismatch");
+        }
+    }
+
+    #[test]
+    fn migration_moves_task_and_charges_debt() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        let mut alloc = Allocation::new();
+        alloc.assign(tid, CoreId(3));
+        sys.apply_allocation(&alloc);
+        assert_eq!(sys.task(tid).core(), CoreId(3));
+        assert_eq!(sys.task(tid).migrations(), 1);
+        assert_eq!(sys.total_migrations(), 1);
+        // Re-applying the same allocation is a no-op.
+        sys.apply_allocation(&alloc);
+        assert_eq!(sys.task(tid).migrations(), 1);
+        // And the task makes progress on the new core.
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        let rt = report.tasks.iter().find(|t| t.task == tid).expect("t");
+        assert_eq!(rt.core, CoreId(3));
+        assert!(rt.counters.instructions > 0);
+    }
+
+    #[test]
+    fn invalid_allocation_entries_ignored() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.spawn_on(cpu_profile(1_000), CoreId(0));
+        let mut alloc = Allocation::new();
+        alloc.assign(TaskId(99), CoreId(1)); // no such task
+        alloc.assign(tid, CoreId(42)); // no such core
+        sys.apply_allocation(&alloc);
+        assert_eq!(sys.task(tid).core(), CoreId(0));
+        assert_eq!(sys.total_migrations(), 0);
+    }
+
+    #[test]
+    fn repeating_task_iterates() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.next_task_id();
+        sys.spawn_task(Task::new(tid, cpu_profile(1_000_000), CoreId(1)).repeating());
+        let mut nb = NullBalancer;
+        sys.run_epoch(&mut nb);
+        let t = sys.task(tid);
+        assert!(!t.is_exited());
+        assert!(t.iterations() > 1, "fast profile should loop many times");
+    }
+
+    #[test]
+    fn spawn_balances_across_cores() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let ids: Vec<TaskId> = (0..4).map(|_| sys.spawn(cpu_profile(1_000_000))).collect();
+        let mut cores: Vec<usize> = ids.iter().map(|&t| sys.task(t).core().0).collect();
+        cores.sort_unstable();
+        assert_eq!(cores, vec![0, 1, 2, 3], "fork balancing spreads tasks");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling period must be positive")]
+    fn zero_period_rejected() {
+        let cfg = SystemConfig {
+            period_ns: 0,
+            ..SystemConfig::default()
+        };
+        System::new(Platform::quad_heterogeneous(), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one period")]
+    fn zero_epoch_rejected() {
+        let cfg = SystemConfig {
+            epoch_periods: 0,
+            ..SystemConfig::default()
+        };
+        System::new(Platform::quad_heterogeneous(), cfg);
+    }
+
+    #[test]
+    fn tracing_captures_lifecycle() {
+        use crate::trace::{TraceEvent, TraceLevel};
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        sys.enable_tracing(TraceLevel::Lifecycle, 1_000);
+        let tid = sys.spawn_on(
+            cpu_profile(1_000_000).with_sleep(SleepPattern::new(400_000, 2_000_000)),
+            CoreId(1),
+        );
+        let mut nb = NullBalancer;
+        sys.run_to_completion(&mut nb, 20);
+        let events = sys.tracer().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Spawn { task, .. } if *task == tid)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sleep { task, .. } if *task == tid)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Wake { task, .. } if *task == tid)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Exit { task, .. } if *task == tid)));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::EpochEnd { .. })));
+        // Lifecycle level omits slices.
+        assert!(!events.iter().any(|e| matches!(e, TraceEvent::Slice { .. })));
+        // Timestamps are non-decreasing.
+        let mut prev = 0;
+        for e in &events {
+            assert!(e.at_ns() >= prev);
+            prev = e.at_ns();
+        }
+    }
+
+    #[test]
+    fn tracing_full_level_records_slices_and_migrations() {
+        use crate::trace::{TraceEvent, TraceLevel};
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        sys.enable_tracing(TraceLevel::Full, 10_000);
+        let tid = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        sys.run_period();
+        let mut alloc = Allocation::new();
+        alloc.assign(tid, CoreId(2));
+        sys.apply_allocation(&alloc);
+        sys.run_period();
+        let events = sys.tracer().events();
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Slice { .. })));
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::Migrate { task, from, to, .. }
+                if *task == tid && *from == CoreId(0) && *to == CoreId(2))
+        ));
+        // CSV export includes headers and the migration line.
+        let csv = sys.tracer().to_csv();
+        assert!(csv.contains("migrate"));
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let run = || {
+            let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+            sys.spawn_on(
+                cpu_profile(50_000_000).with_sleep(SleepPattern::new(500_000, 700_000)),
+                CoreId(0),
+            );
+            sys.spawn_on(cpu_profile(80_000_000), CoreId(1));
+            let mut nb = NullBalancer;
+            for _ in 0..3 {
+                sys.run_epoch(&mut nb);
+            }
+            (
+                sys.sensors().total_instructions(),
+                sys.sensors().total_energy_j().to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,286 @@
+//! Scheduler event tracing — the simulator's `ftrace`/`sched_switch`
+//! equivalent: a bounded in-memory ring of scheduling events for
+//! debugging policies and generating timelines.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable it
+//! with [`crate::System::enable_tracing`]. `Slice` events are the hot
+//! path, so a [`TraceLevel`] gates them separately from the rare
+//! lifecycle/migration events.
+
+use archsim::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskId;
+
+/// How much to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Record nothing.
+    #[default]
+    Off,
+    /// Record lifecycle events (spawn/exit/sleep/wake), migrations and
+    /// epoch boundaries.
+    Lifecycle,
+    /// Additionally record every scheduling slice (high volume).
+    Full,
+}
+
+/// One scheduler event. All timestamps are absolute simulation
+/// nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A task entered the system.
+    Spawn {
+        /// Event time, ns.
+        at_ns: u64,
+        /// The task.
+        task: TaskId,
+        /// Initial core.
+        core: CoreId,
+    },
+    /// A task ran for a slice (only at [`TraceLevel::Full`]).
+    Slice {
+        /// Slice start time, ns.
+        at_ns: u64,
+        /// The task.
+        task: TaskId,
+        /// Core it ran on.
+        core: CoreId,
+        /// Slice duration, ns.
+        duration_ns: u64,
+        /// Instructions committed.
+        instructions: u64,
+    },
+    /// A task went to sleep.
+    Sleep {
+        /// Event time, ns.
+        at_ns: u64,
+        /// The task.
+        task: TaskId,
+        /// When it will wake, ns.
+        wake_at_ns: u64,
+    },
+    /// A task woke up.
+    Wake {
+        /// Event time, ns.
+        at_ns: u64,
+        /// The task.
+        task: TaskId,
+    },
+    /// A task finished its profile.
+    Exit {
+        /// Event time, ns.
+        at_ns: u64,
+        /// The task.
+        task: TaskId,
+    },
+    /// The balancer migrated a task.
+    Migrate {
+        /// Event time, ns.
+        at_ns: u64,
+        /// The task.
+        task: TaskId,
+        /// Source core.
+        from: CoreId,
+        /// Destination core.
+        to: CoreId,
+    },
+    /// An epoch boundary (after balancing).
+    EpochEnd {
+        /// Event time, ns.
+        at_ns: u64,
+        /// Epoch index just completed.
+        epoch: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp, ns.
+    pub fn at_ns(&self) -> u64 {
+        match *self {
+            TraceEvent::Spawn { at_ns, .. }
+            | TraceEvent::Slice { at_ns, .. }
+            | TraceEvent::Sleep { at_ns, .. }
+            | TraceEvent::Wake { at_ns, .. }
+            | TraceEvent::Exit { at_ns, .. }
+            | TraceEvent::Migrate { at_ns, .. }
+            | TraceEvent::EpochEnd { at_ns, .. } => at_ns,
+        }
+    }
+}
+
+/// A bounded ring of trace events.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    level: TraceLevel,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    head: usize,
+}
+
+impl Tracer {
+    /// Creates a tracer keeping at most `capacity` events (older events
+    /// are overwritten once full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` and `level != Off`.
+    pub fn new(level: TraceLevel, capacity: usize) -> Self {
+        assert!(
+            level == TraceLevel::Off || capacity > 0,
+            "an enabled tracer needs capacity"
+        );
+        Tracer {
+            level,
+            capacity,
+            events: Vec::new(),
+            dropped: 0,
+            head: 0,
+        }
+    }
+
+    /// The active level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Records an event (respecting the level and ring bound).
+    pub fn record(&mut self, event: TraceEvent) {
+        let needed = match event {
+            TraceEvent::Slice { .. } => TraceLevel::Full,
+            _ => TraceLevel::Lifecycle,
+        };
+        if self.level < needed {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in chronological order (oldest first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Number of events overwritten because the ring filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace as CSV (`time_ns,event,task,detail`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ns,event,task,detail\n");
+        for e in self.events() {
+            let line = match e {
+                TraceEvent::Spawn { at_ns, task, core } => {
+                    format!("{at_ns},spawn,{task},core={core}")
+                }
+                TraceEvent::Slice {
+                    at_ns,
+                    task,
+                    core,
+                    duration_ns,
+                    instructions,
+                } => format!("{at_ns},slice,{task},core={core};dur={duration_ns};instr={instructions}"),
+                TraceEvent::Sleep {
+                    at_ns,
+                    task,
+                    wake_at_ns,
+                } => format!("{at_ns},sleep,{task},wake_at={wake_at_ns}"),
+                TraceEvent::Wake { at_ns, task } => format!("{at_ns},wake,{task},"),
+                TraceEvent::Exit { at_ns, task } => format!("{at_ns},exit,{task},"),
+                TraceEvent::Migrate {
+                    at_ns,
+                    task,
+                    from,
+                    to,
+                } => format!("{at_ns},migrate,{task},from={from};to={to}"),
+                TraceEvent::EpochEnd { at_ns, epoch } => {
+                    format!("{at_ns},epoch_end,,epoch={epoch}")
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let mut t = Tracer::new(TraceLevel::Off, 0);
+        t.record(TraceEvent::Wake {
+            at_ns: 1,
+            task: TaskId(0),
+        });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn lifecycle_level_skips_slices() {
+        let mut t = Tracer::new(TraceLevel::Lifecycle, 8);
+        t.record(TraceEvent::Slice {
+            at_ns: 1,
+            task: TaskId(0),
+            core: CoreId(0),
+            duration_ns: 5,
+            instructions: 10,
+        });
+        t.record(TraceEvent::Exit {
+            at_ns: 2,
+            task: TaskId(0),
+        });
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], TraceEvent::Exit { .. }));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = Tracer::new(TraceLevel::Lifecycle, 3);
+        for i in 0..5u64 {
+            t.record(TraceEvent::Wake {
+                at_ns: i,
+                task: TaskId(i as usize),
+            });
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at_ns(), 2, "oldest surviving event");
+        assert_eq!(events[2].at_ns(), 4);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Tracer::new(TraceLevel::Lifecycle, 8);
+        t.record(TraceEvent::Migrate {
+            at_ns: 10,
+            task: TaskId(3),
+            from: CoreId(0),
+            to: CoreId(2),
+        });
+        let csv = t.to_csv();
+        assert!(csv.starts_with("time_ns,event,task,detail\n"));
+        assert!(csv.contains("10,migrate,tid3,from=cpu0;to=cpu2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn enabled_zero_capacity_rejected() {
+        Tracer::new(TraceLevel::Full, 0);
+    }
+}

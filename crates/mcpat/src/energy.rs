@@ -1,0 +1,156 @@
+//! Energy accounting: integrates per-core power over simulation time
+//! and reports the energy-efficiency metrics of the evaluation
+//! (IPS/Watt ≡ instructions per joule, paper Eq. 10–11 and Fig. 4/5).
+
+use archsim::{CoreId, Platform};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{CorePowerModel, PowerState};
+
+/// Per-core energy meter for a whole platform.
+///
+/// # Examples
+///
+/// ```
+/// use archsim::{CoreId, Platform};
+/// use mcpat::{EnergyMeter, PowerState};
+///
+/// let platform = Platform::quad_heterogeneous();
+/// let mut meter = EnergyMeter::new(&platform);
+/// meter.accumulate(CoreId(0), PowerState::Active { activity: 1.0 }, 1_000_000_000);
+/// // 1 s at the Huge core's peak power = 8.62 J.
+/// assert!((meter.core_energy_j(CoreId(0)) - 8.62).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    models: Vec<CorePowerModel>,
+    energy_j: Vec<f64>,
+    busy_ns: Vec<u64>,
+    sleep_ns: Vec<u64>,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with calibrated power models for every core of
+    /// `platform`.
+    pub fn new(platform: &Platform) -> Self {
+        let models = platform
+            .cores()
+            .map(|c| CorePowerModel::calibrated(platform.core_config(c)))
+            .collect::<Vec<_>>();
+        let n = models.len();
+        EnergyMeter {
+            models,
+            energy_j: vec![0.0; n],
+            busy_ns: vec![0; n],
+            sleep_ns: vec![0; n],
+        }
+    }
+
+    /// The calibrated power model of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn model(&self, core: CoreId) -> &CorePowerModel {
+        &self.models[core.0]
+    }
+
+    /// Integrates `duration_ns` of core `core` spent in `state`,
+    /// returning the energy added in joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn accumulate(&mut self, core: CoreId, state: PowerState, duration_ns: u64) -> f64 {
+        let e = self.models[core.0].energy_j(state, duration_ns);
+        self.energy_j[core.0] += e;
+        match state {
+            PowerState::Sleeping => self.sleep_ns[core.0] += duration_ns,
+            PowerState::Active { .. } => self.busy_ns[core.0] += duration_ns,
+        }
+        e
+    }
+
+    /// Energy consumed by one core so far, joules.
+    pub fn core_energy_j(&self, core: CoreId) -> f64 {
+        self.energy_j[core.0]
+    }
+
+    /// Total platform energy so far, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy_j.iter().sum()
+    }
+
+    /// Time core `core` has spent powered and executing, nanoseconds.
+    pub fn busy_ns(&self, core: CoreId) -> u64 {
+        self.busy_ns[core.0]
+    }
+
+    /// Time core `core` has spent power-gated, nanoseconds.
+    pub fn sleep_ns(&self, core: CoreId) -> u64 {
+        self.sleep_ns[core.0]
+    }
+
+    /// System energy efficiency: instructions per joule (≡ average
+    /// IPS/Watt), given the total committed instruction count.
+    ///
+    /// Returns 0 when no energy has been consumed yet.
+    pub fn instructions_per_joule(&self, total_instructions: u64) -> f64 {
+        let e = self.total_energy_j();
+        if e <= 0.0 {
+            0.0
+        } else {
+            total_instructions as f64 / e
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_core() {
+        let p = Platform::quad_heterogeneous();
+        let mut m = EnergyMeter::new(&p);
+        let added = m.accumulate(CoreId(3), PowerState::Active { activity: 1.0 }, 2_000_000_000);
+        // Small core peak = 0.095 W for 2 s.
+        assert!((added - 0.19).abs() < 1e-12);
+        assert!((m.core_energy_j(CoreId(3)) - 0.19).abs() < 1e-12);
+        assert_eq!(m.core_energy_j(CoreId(0)), 0.0);
+        assert_eq!(m.busy_ns(CoreId(3)), 2_000_000_000);
+        assert_eq!(m.sleep_ns(CoreId(3)), 0);
+    }
+
+    #[test]
+    fn sleep_time_tracked_separately() {
+        let p = Platform::quad_heterogeneous();
+        let mut m = EnergyMeter::new(&p);
+        m.accumulate(CoreId(0), PowerState::Sleeping, 1_000);
+        assert_eq!(m.sleep_ns(CoreId(0)), 1_000);
+        assert_eq!(m.busy_ns(CoreId(0)), 0);
+        assert!(m.total_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn efficiency_metric() {
+        let p = Platform::quad_heterogeneous();
+        let mut m = EnergyMeter::new(&p);
+        assert_eq!(m.instructions_per_joule(1_000), 0.0);
+        m.accumulate(CoreId(1), PowerState::Active { activity: 1.0 }, 1_000_000_000);
+        // Big core: 1.41 J for 1e9 instructions -> ~7.09e8 instr/J.
+        let eff = m.instructions_per_joule(1_000_000_000);
+        assert!((eff - 1e9 / 1.41).abs() / eff < 1e-9);
+    }
+
+    #[test]
+    fn total_is_sum_of_cores() {
+        let p = Platform::octa_big_little();
+        let mut m = EnergyMeter::new(&p);
+        for c in p.cores() {
+            m.accumulate(c, PowerState::Active { activity: 0.5 }, 1_000_000);
+        }
+        let sum: f64 = p.cores().map(|c| m.core_energy_j(c)).sum();
+        assert!((m.total_energy_j() - sum).abs() < 1e-15);
+    }
+}

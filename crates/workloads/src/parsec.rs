@@ -1,0 +1,317 @@
+//! PARSEC-like benchmark profiles.
+//!
+//! Real PARSEC binaries cannot execute on the analytical simulator, so
+//! each benchmark is replaced by a phase-structured profile whose
+//! intrinsic characteristics follow the published PARSEC
+//! characterisation (Bienia et al., PACT'08): blackscholes and
+//! swaptions are small-working-set compute kernels, canneal and
+//! streamcluster are cache-hostile, x264 alternates motion-estimation
+//! (compute) with entropy-coding (branchy) phases, bodytrack mixes
+//! vision kernels with control phases, etc.
+//!
+//! The x264 benchmark is instantiated in four variants — high (H) / low
+//! (L) frame processing rate × `crew` / `bowing` input videos — because
+//! the paper's Table 3 mixes use exactly those four, demonstrating that
+//! one binary can expose very different IPS/power behaviour.
+
+use archsim::WorkloadCharacteristics;
+
+use crate::profile::{Phase, WorkloadProfile};
+
+/// Baseline per-thread instruction budget for one benchmark run.
+/// Chosen so a full run takes a few simulated seconds on a mid core.
+pub const BASE_INSTRUCTIONS: u64 = 600_000_000;
+
+fn w(
+    ilp: f64,
+    mem_share: f64,
+    branch_share: f64,
+    dws: f64,
+    cws: f64,
+    entropy: f64,
+    dpages: f64,
+    cpages: f64,
+    mlp: f64,
+) -> WorkloadCharacteristics {
+    WorkloadCharacteristics {
+        ilp,
+        mem_share,
+        branch_share,
+        data_working_set_kib: dws,
+        code_working_set_kib: cws,
+        branch_entropy: entropy,
+        data_pages: dpages,
+        code_pages: cpages,
+        mlp,
+    }
+    .clamped()
+}
+
+/// blackscholes: embarrassingly parallel option pricing; tiny working
+/// set, high ILP floating-point kernel.
+pub fn blackscholes() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "blackscholes",
+        w(5.5, 0.15, 0.04, 8.0, 4.0, 0.05, 16.0, 4.0, 4.0),
+        BASE_INSTRUCTIONS,
+    )
+}
+
+/// swaptions: Monte-Carlo swaption pricing; compute-bound with moderate
+/// memory traffic.
+pub fn swaptions() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "swaptions",
+        w(4.8, 0.20, 0.08, 24.0, 8.0, 0.12, 40.0, 8.0, 3.5),
+        BASE_INSTRUCTIONS,
+    )
+}
+
+/// canneal: simulated-annealing netlist routing; pointer chasing over a
+/// huge working set — the canonical cache-hostile PARSEC member.
+pub fn canneal() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "canneal",
+        w(1.3, 0.48, 0.14, 2_048.0, 12.0, 0.40, 2_048.0, 8.0, 1.3),
+        BASE_INSTRUCTIONS / 2,
+    )
+}
+
+/// streamcluster: online clustering; streaming memory access with low
+/// temporal locality but good MLP.
+pub fn streamcluster() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "streamcluster",
+        w(2.4, 0.42, 0.10, 1_024.0, 8.0, 0.15, 1_024.0, 6.0, 4.5),
+        BASE_INSTRUCTIONS / 2,
+    )
+}
+
+/// fluidanimate: SPH fluid dynamics; mixed compute/memory with medium
+/// working set.
+pub fn fluidanimate() -> WorkloadProfile {
+    WorkloadProfile::new(
+        "fluidanimate",
+        vec![
+            // Neighbour-list rebuild: memory heavy.
+            Phase::new(w(2.0, 0.45, 0.12, 384.0, 16.0, 0.25, 512.0, 10.0, 2.0), BASE_INSTRUCTIONS / 4),
+            // Force computation: compute heavy.
+            Phase::new(w(4.5, 0.22, 0.06, 96.0, 12.0, 0.10, 128.0, 8.0, 3.0), BASE_INSTRUCTIONS / 2),
+            // Position update: streaming.
+            Phase::new(w(3.0, 0.38, 0.08, 256.0, 10.0, 0.12, 384.0, 6.0, 4.0), BASE_INSTRUCTIONS / 4),
+        ],
+    )
+}
+
+/// bodytrack: computer-vision body tracking; alternates image-processing
+/// kernels with branchy particle-filter control code. Used by Mix5/Mix6.
+pub fn bodytrack() -> WorkloadProfile {
+    WorkloadProfile::new(
+        "bodytrack",
+        vec![
+            // Edge-map kernels: good ILP, medium working set.
+            Phase::new(w(4.2, 0.28, 0.08, 128.0, 20.0, 0.15, 192.0, 14.0, 3.0), BASE_INSTRUCTIONS / 3),
+            // Particle-filter weights: branchy, irregular.
+            Phase::new(w(1.8, 0.32, 0.26, 160.0, 36.0, 0.50, 256.0, 24.0, 1.6), BASE_INSTRUCTIONS / 3),
+            // Pose refinement: mixed.
+            Phase::new(w(3.2, 0.30, 0.14, 96.0, 24.0, 0.25, 160.0, 18.0, 2.4), BASE_INSTRUCTIONS / 3),
+        ],
+    )
+}
+
+/// ferret: content-based similarity search pipeline; memory and branch
+/// heavy.
+pub fn ferret() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "ferret",
+        w(2.2, 0.40, 0.18, 512.0, 48.0, 0.35, 768.0, 32.0, 2.0),
+        BASE_INSTRUCTIONS / 2,
+    )
+}
+
+/// freqmine: frequent-itemset mining; tree traversal, branchy with a
+/// large working set.
+pub fn freqmine() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "freqmine",
+        w(1.9, 0.38, 0.22, 768.0, 40.0, 0.45, 1_024.0, 28.0, 1.5),
+        BASE_INSTRUCTIONS / 2,
+    )
+}
+
+/// dedup: pipelined compression/deduplication; streaming with hashing.
+pub fn dedup() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "dedup",
+        w(2.8, 0.36, 0.12, 448.0, 20.0, 0.20, 640.0, 14.0, 3.2),
+        BASE_INSTRUCTIONS / 2,
+    )
+}
+
+/// vips: image transformation pipeline; good ILP over streamed tiles.
+pub fn vips() -> WorkloadProfile {
+    WorkloadProfile::uniform(
+        "vips",
+        w(4.0, 0.30, 0.07, 192.0, 28.0, 0.10, 288.0, 20.0, 3.8),
+        BASE_INSTRUCTIONS,
+    )
+}
+
+/// x264 video encoding.
+///
+/// `high_rate` selects the paper's H (high frame-processing rate ⇒
+/// bigger per-frame compute bursts) vs L configuration; `input` selects
+/// the `crew` or `bowing` sequence. `crew` has more motion (more
+/// motion-estimation work, larger working set); `bowing` is mostly
+/// static (cheaper motion estimation, more time in entropy coding).
+pub fn x264(high_rate: bool, input: X264Input) -> WorkloadProfile {
+    let (me_scale, dws, entropy) = match input {
+        // High-motion input: heavier motion estimation, bigger reference
+        // window, more predictable branches inside SAD loops.
+        X264Input::Crew => (1.4, 320.0, 0.30),
+        // Mostly-static input: light motion estimation, skip-heavy and
+        // branchier entropy coding.
+        X264Input::Bowing => (0.7, 144.0, 0.45),
+    };
+    let rate_scale = if high_rate { 1.0 } else { 0.45 };
+    let name = format!(
+        "x264_{}_{}",
+        if high_rate { "H" } else { "L" },
+        input.as_str()
+    );
+    let total = (BASE_INSTRUCTIONS as f64 * rate_scale) as u64;
+    let me_len = ((total as f64) * 0.5 * me_scale / (0.5 * me_scale + 0.5)) as u64;
+    let ec_len = total - me_len;
+    WorkloadProfile::new(
+        name,
+        vec![
+            // Motion estimation / DCT: vectorizable compute.
+            Phase::new(
+                w(5.0, 0.26, 0.06, dws, 24.0, 0.12, dws * 1.5, 16.0, 3.5),
+                me_len.max(1),
+            ),
+            // Entropy coding / deblocking: serial, branchy.
+            Phase::new(
+                w(1.6, 0.30, 0.24, 64.0, 40.0, entropy, 96.0, 28.0, 1.5),
+                ec_len.max(1),
+            ),
+        ],
+    )
+}
+
+/// Input video for [`x264`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum X264Input {
+    /// High-motion "crew" sequence.
+    Crew,
+    /// Mostly static "bowing" sequence.
+    Bowing,
+}
+
+impl X264Input {
+    fn as_str(self) -> &'static str {
+        match self {
+            X264Input::Crew => "crew",
+            X264Input::Bowing => "bow",
+        }
+    }
+}
+
+/// All single PARSEC benchmarks used in the evaluation (the x264
+/// variants appear via [`crate::mixes`]).
+pub fn all() -> Vec<WorkloadProfile> {
+    vec![
+        blackscholes(),
+        swaptions(),
+        canneal(),
+        streamcluster(),
+        fluidanimate(),
+        bodytrack(),
+        ferret(),
+        freqmine(),
+        dedup(),
+        vips(),
+    ]
+}
+
+/// Looks a profile up by name, including the four x264 variants.
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    match name {
+        "blackscholes" => Some(blackscholes()),
+        "swaptions" => Some(swaptions()),
+        "canneal" => Some(canneal()),
+        "streamcluster" => Some(streamcluster()),
+        "fluidanimate" => Some(fluidanimate()),
+        "bodytrack" => Some(bodytrack()),
+        "ferret" => Some(ferret()),
+        "freqmine" => Some(freqmine()),
+        "dedup" => Some(dedup()),
+        "vips" => Some(vips()),
+        "x264_H_crew" => Some(x264(true, X264Input::Crew)),
+        "x264_H_bow" => Some(x264(true, X264Input::Bowing)),
+        "x264_L_crew" => Some(x264(false, X264Input::Crew)),
+        "x264_L_bow" => Some(x264(false, X264Input::Bowing)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::{estimate, CoreConfig};
+
+    #[test]
+    fn all_profiles_valid_and_distinct() {
+        let profiles = all();
+        assert_eq!(profiles.len(), 10);
+        for p in &profiles {
+            assert!(p.total_instructions() > 0);
+            for phase in p.phases() {
+                // Characteristics already sane (clamped at build).
+                assert_eq!(phase.characteristics, phase.characteristics.clamped());
+            }
+        }
+        let mut names: Vec<&str> = profiles.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "benchmark names must be unique");
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for p in all() {
+            let found = by_name(p.name()).expect("lookup");
+            assert_eq!(found.name(), p.name());
+        }
+        assert!(by_name("x264_H_crew").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn x264_variants_differ() {
+        let hc = x264(true, X264Input::Crew);
+        let lb = x264(false, X264Input::Bowing);
+        assert!(hc.total_instructions() > lb.total_instructions());
+        assert_eq!(hc.name(), "x264_H_crew");
+        assert_eq!(lb.name(), "x264_L_bow");
+        // Crew spends a larger share in motion estimation.
+        let me_share_hc = hc.phases()[0].instructions as f64 / hc.total_instructions() as f64;
+        let me_share_lb = lb.phases()[0].instructions as f64 / lb.total_instructions() as f64;
+        assert!(me_share_hc > me_share_lb);
+    }
+
+    #[test]
+    fn compute_vs_memory_benchmarks_behave_differently() {
+        // blackscholes should gain far more from the Huge core than
+        // canneal does — the heterogeneity the balancer exploits.
+        let huge = CoreConfig::huge();
+        let small = CoreConfig::small();
+        let gain = |p: &WorkloadProfile| {
+            let ch = p.phases()[0].characteristics;
+            let h = estimate(&ch, &huge).ipc * huge.freq_hz;
+            let s = estimate(&ch, &small).ipc * small.freq_hz;
+            h / s
+        };
+        assert!(gain(&blackscholes()) > 2.0 * gain(&canneal()));
+    }
+}

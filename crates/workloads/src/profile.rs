@@ -1,0 +1,313 @@
+//! Workload profiles: phase-structured descriptions of a benchmark
+//! thread's execution, including optional interactive (sleep/wake)
+//! behaviour.
+//!
+//! A profile is the unit the kernel simulator attaches to a task: a
+//! sequence of [`Phase`]s, each with intrinsic
+//! [`WorkloadCharacteristics`] and a length in committed instructions,
+//! plus an optional [`SleepPattern`] describing interactivity (the
+//! paper's IMB benchmarks control exactly this).
+
+use archsim::WorkloadCharacteristics;
+use serde::{Deserialize, Serialize};
+
+/// One execution phase: `instructions` committed with the given
+/// intrinsic characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Intrinsic characteristics during this phase.
+    pub characteristics: WorkloadCharacteristics,
+    /// Phase length in committed instructions.
+    pub instructions: u64,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions == 0`.
+    pub fn new(characteristics: WorkloadCharacteristics, instructions: u64) -> Self {
+        assert!(instructions > 0, "a phase must commit at least one instruction");
+        Phase {
+            characteristics,
+            instructions,
+        }
+    }
+}
+
+/// Interactive behaviour: run `burst_instructions`, then sleep for
+/// `sleep_ns` (waiting for I/O, a frame deadline, user input, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SleepPattern {
+    /// Instructions committed between sleeps.
+    pub burst_instructions: u64,
+    /// Sleep duration after each burst, nanoseconds.
+    pub sleep_ns: u64,
+}
+
+impl SleepPattern {
+    /// Creates a sleep pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_instructions == 0`.
+    pub fn new(burst_instructions: u64, sleep_ns: u64) -> Self {
+        assert!(burst_instructions > 0, "burst must be at least one instruction");
+        SleepPattern {
+            burst_instructions,
+            sleep_ns,
+        }
+    }
+}
+
+/// A complete workload profile for one thread.
+///
+/// # Examples
+///
+/// ```
+/// use archsim::WorkloadCharacteristics;
+/// use workloads::{Phase, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::new(
+///     "two-phase",
+///     vec![
+///         Phase::new(WorkloadCharacteristics::compute_bound(), 1_000_000),
+///         Phase::new(WorkloadCharacteristics::memory_bound(), 2_000_000),
+///     ],
+/// );
+/// assert_eq!(profile.total_instructions(), 3_000_000);
+/// // Progress 0 is in the compute phase; past 1M is in the memory phase.
+/// assert!(profile.characteristics_at(0).ilp > profile.characteristics_at(1_500_000).ilp);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    name: String,
+    phases: Vec<Phase>,
+    sleep: Option<SleepPattern>,
+    total_instructions: u64,
+}
+
+impl WorkloadProfile {
+    /// Creates a profile from a non-empty phase list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "a profile needs at least one phase");
+        let total = phases.iter().map(|p| p.instructions).sum();
+        WorkloadProfile {
+            name: name.into(),
+            phases,
+            sleep: None,
+            total_instructions: total,
+        }
+    }
+
+    /// Single-phase convenience constructor.
+    pub fn uniform(
+        name: impl Into<String>,
+        characteristics: WorkloadCharacteristics,
+        instructions: u64,
+    ) -> Self {
+        WorkloadProfile::new(name, vec![Phase::new(characteristics, instructions)])
+    }
+
+    /// Attaches an interactive sleep pattern (builder style).
+    pub fn with_sleep(mut self, sleep: SleepPattern) -> Self {
+        self.sleep = Some(sleep);
+        self
+    }
+
+    /// Profile name (e.g. `"x264_H_crew"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phase list.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The interactivity pattern, if any.
+    pub fn sleep_pattern(&self) -> Option<SleepPattern> {
+        self.sleep
+    }
+
+    /// Total instructions the thread commits before exiting.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Characteristics in effect after `progress` committed
+    /// instructions. Progress at or past the end returns the last
+    /// phase's characteristics.
+    pub fn characteristics_at(&self, progress: u64) -> &WorkloadCharacteristics {
+        let mut consumed = 0u64;
+        for phase in &self.phases {
+            consumed = consumed.saturating_add(phase.instructions);
+            if progress < consumed {
+                return &phase.characteristics;
+            }
+        }
+        &self.phases[self.phases.len() - 1].characteristics
+    }
+
+    /// Instructions remaining in the phase active at `progress`
+    /// (`None` once the profile is complete).
+    pub fn remaining_in_phase(&self, progress: u64) -> Option<u64> {
+        if progress >= self.total_instructions {
+            return None;
+        }
+        let mut consumed = 0u64;
+        for phase in &self.phases {
+            consumed += phase.instructions;
+            if progress < consumed {
+                return Some(consumed - progress);
+            }
+        }
+        None
+    }
+
+    /// Scales every phase length by `factor`, preserving the phase
+    /// structure; used to derive 2/4/8-thread variants where each
+    /// thread handles a slice of the total work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| Phase {
+                characteristics: p.characteristics,
+                instructions: ((p.instructions as f64 * factor).round() as u64).max(1),
+            })
+            .collect();
+        let mut out = WorkloadProfile::new(self.name.clone(), phases);
+        out.sleep = self.sleep;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> WorkloadProfile {
+        WorkloadProfile::new(
+            "t",
+            vec![
+                Phase::new(WorkloadCharacteristics::compute_bound(), 100),
+                Phase::new(WorkloadCharacteristics::memory_bound(), 200),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let p = two_phase();
+        assert_eq!(p.total_instructions(), 300);
+        assert_eq!(
+            *p.characteristics_at(0),
+            WorkloadCharacteristics::compute_bound()
+        );
+        assert_eq!(
+            *p.characteristics_at(99),
+            WorkloadCharacteristics::compute_bound()
+        );
+        assert_eq!(
+            *p.characteristics_at(100),
+            WorkloadCharacteristics::memory_bound()
+        );
+        // Past the end: last phase.
+        assert_eq!(
+            *p.characteristics_at(10_000),
+            WorkloadCharacteristics::memory_bound()
+        );
+    }
+
+    #[test]
+    fn remaining_in_phase() {
+        let p = two_phase();
+        assert_eq!(p.remaining_in_phase(0), Some(100));
+        assert_eq!(p.remaining_in_phase(99), Some(1));
+        assert_eq!(p.remaining_in_phase(100), Some(200));
+        assert_eq!(p.remaining_in_phase(299), Some(1));
+        assert_eq!(p.remaining_in_phase(300), None);
+        assert_eq!(p.remaining_in_phase(301), None);
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let p = two_phase().with_sleep(SleepPattern::new(10, 5));
+        let s = p.scaled(2.0);
+        assert_eq!(s.total_instructions(), 600);
+        assert_eq!(s.phases().len(), 2);
+        assert_eq!(s.sleep_pattern(), Some(SleepPattern::new(10, 5)));
+        let tiny = p.scaled(1e-9);
+        assert!(tiny.total_instructions() >= 2, "phases never collapse to zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_profile_rejected() {
+        WorkloadProfile::new("bad", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_phase_rejected() {
+        Phase::new(WorkloadCharacteristics::balanced(), 0);
+    }
+
+    #[test]
+    fn characteristics_at_exact_boundaries() {
+        let p = WorkloadProfile::new(
+            "b",
+            vec![
+                Phase::new(WorkloadCharacteristics::compute_bound(), 1),
+                Phase::new(WorkloadCharacteristics::memory_bound(), 1),
+                Phase::new(WorkloadCharacteristics::branch_bound(), 1),
+            ],
+        );
+        assert_eq!(*p.characteristics_at(0), WorkloadCharacteristics::compute_bound());
+        assert_eq!(*p.characteristics_at(1), WorkloadCharacteristics::memory_bound());
+        assert_eq!(*p.characteristics_at(2), WorkloadCharacteristics::branch_bound());
+        assert_eq!(*p.characteristics_at(3), WorkloadCharacteristics::branch_bound());
+    }
+
+    #[test]
+    fn scaled_total_tracks_factor() {
+        let p = WorkloadProfile::new(
+            "s",
+            vec![
+                Phase::new(WorkloadCharacteristics::balanced(), 1_000),
+                Phase::new(WorkloadCharacteristics::balanced(), 3_000),
+            ],
+        );
+        let half = p.scaled(0.5);
+        assert_eq!(half.total_instructions(), 2_000);
+        // Per-phase proportions preserved.
+        assert_eq!(half.phases()[0].instructions, 500);
+        assert_eq!(half.phases()[1].instructions, 1_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero_factor() {
+        WorkloadProfile::uniform("z", WorkloadCharacteristics::balanced(), 10).scaled(0.0);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let p = WorkloadProfile::uniform("u", WorkloadCharacteristics::balanced(), 42);
+        assert_eq!(p.phases().len(), 1);
+        assert_eq!(p.total_instructions(), 42);
+        assert_eq!(p.name(), "u");
+        assert_eq!(p.sleep_pattern(), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Deterministic synthetic workload generation.
+//!
+//! Used for (a) the offline predictor-training corpus (paper Section
+//! 4.2.2 trains Θ on profiling runs), (b) the Fig. 8 known-optimum
+//! scalability scenarios, and (c) property-based tests. Generation is
+//! seeded xorshift64*, so every corpus is reproducible without pulling
+//! an RNG dependency into the library.
+
+use archsim::WorkloadCharacteristics;
+
+use crate::profile::{Phase, SleepPattern, WorkloadProfile};
+
+/// Seeded deterministic generator of workload characteristics and
+/// profiles.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::SyntheticGenerator;
+///
+/// let mut gen_a = SyntheticGenerator::new(7);
+/// let mut gen_b = SyntheticGenerator::new(7);
+/// assert_eq!(gen_a.characteristics(), gen_b.characteristics());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticGenerator {
+    state: u64,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator from a seed (any value; 0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        SyntheticGenerator {
+            state: seed | 0x1234_5678_9ABC_DEF1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+
+    /// A random but plausible characteristics vector spanning the whole
+    /// compute/memory/branch space.
+    pub fn characteristics(&mut self) -> WorkloadCharacteristics {
+        // Log-uniform working sets so both cache-resident and
+        // cache-hostile workloads are represented.
+        let dws = 4.0 * (2.0f64).powf(self.range(0.0, 11.0)); // 4 KiB .. 8 MiB
+        let cws = 2.0 * (2.0f64).powf(self.range(0.0, 7.0)); // 2 KiB .. 256 KiB
+        WorkloadCharacteristics {
+            ilp: self.range(1.0, 7.5),
+            mem_share: self.range(0.05, 0.55),
+            branch_share: self.range(0.02, 0.32),
+            data_working_set_kib: dws,
+            code_working_set_kib: cws,
+            branch_entropy: self.range(0.0, 0.8),
+            data_pages: dws / 3.0,
+            code_pages: cws / 2.0,
+            mlp: self.range(1.0, 6.0),
+        }
+        .clamped()
+    }
+
+    /// A random multi-phase profile with `1..=max_phases` phases and the
+    /// given total instruction budget, optionally interactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_phases == 0` or `total_instructions == 0`.
+    pub fn profile(
+        &mut self,
+        name: impl Into<String>,
+        max_phases: usize,
+        total_instructions: u64,
+        interactive: bool,
+    ) -> WorkloadProfile {
+        assert!(max_phases > 0, "need at least one phase");
+        assert!(total_instructions > 0, "need a positive budget");
+        let phases_n = 1 + self.below(max_phases as u64) as usize;
+        let per_phase = (total_instructions / phases_n as u64).max(1);
+        let phases = (0..phases_n)
+            .map(|_| Phase::new(self.characteristics(), per_phase))
+            .collect();
+        let mut p = WorkloadProfile::new(name, phases);
+        if interactive {
+            let burst = 500_000 + self.below(4_000_000);
+            let sleep = self.below(8_000_000);
+            p = p.with_sleep(SleepPattern::new(burst, sleep));
+        }
+        p
+    }
+
+    /// A corpus of `n` random characteristics vectors — the predictor
+    /// training set.
+    pub fn corpus(&mut self, n: usize) -> Vec<WorkloadCharacteristics> {
+        (0..n).map(|_| self.characteristics()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SyntheticGenerator::new(42);
+        let mut b = SyntheticGenerator::new(42);
+        for _ in 0..50 {
+            assert_eq!(a.characteristics(), b.characteristics());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SyntheticGenerator::new(1);
+        let mut b = SyntheticGenerator::new(2);
+        assert_ne!(a.characteristics(), b.characteristics());
+    }
+
+    #[test]
+    fn characteristics_always_sane() {
+        let mut g = SyntheticGenerator::new(9);
+        for _ in 0..500 {
+            let c = g.characteristics();
+            assert_eq!(c, c.clamped());
+        }
+    }
+
+    #[test]
+    fn corpus_spans_working_set_range() {
+        let mut g = SyntheticGenerator::new(3);
+        let corpus = g.corpus(200);
+        assert_eq!(corpus.len(), 200);
+        let min_ws = corpus.iter().map(|c| c.data_working_set_kib).fold(f64::MAX, f64::min);
+        let max_ws = corpus.iter().map(|c| c.data_working_set_kib).fold(0.0, f64::max);
+        assert!(min_ws < 64.0, "some cache-resident workloads: {min_ws}");
+        assert!(max_ws > 1_024.0, "some cache-hostile workloads: {max_ws}");
+    }
+
+    #[test]
+    fn profile_respects_budget_roughly() {
+        let mut g = SyntheticGenerator::new(5);
+        let p = g.profile("syn", 4, 1_000_000, true);
+        assert!(p.total_instructions() <= 1_000_000);
+        assert!(p.total_instructions() >= 250_000 - 4);
+        assert!(p.sleep_pattern().is_some());
+        let q = g.profile("syn2", 4, 1_000_000, false);
+        assert!(q.sleep_pattern().is_none());
+    }
+
+    #[test]
+    fn range_and_below_bounds() {
+        let mut g = SyntheticGenerator::new(11);
+        for _ in 0..1000 {
+            let x = g.range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n = g.below(17);
+            assert!(n < 17);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run one benchmark under the vanilla Linux balancer and
+//! under SmartBalance on the paper's quad-core heterogeneous MPSoC and
+//! compare measured energy efficiency.
+//!
+//! ```sh
+//! cargo run --release -p smartbalance --example quickstart
+//! ```
+
+use archsim::Platform;
+use smartbalance::{compare_policies, ExperimentSpec, Policy};
+
+fn main() {
+    // The paper's primary platform: Huge + Big + Medium + Small cores.
+    let platform = Platform::quad_heterogeneous();
+
+    // A mixed workload: compute kernels, a cache-hostile benchmark and
+    // vision code, 2 threads each (Table 3 spirit).
+    let mut profiles = Vec::new();
+    for name in ["blackscholes", "canneal", "bodytrack", "streamcluster"] {
+        let bench = workloads::parsec::by_name(name).expect("known benchmark");
+        profiles.extend(ExperimentSpec::parallelize(&bench.scaled(0.3), 2));
+    }
+
+    let spec = ExperimentSpec::new("quickstart", platform, profiles);
+    let results = compare_policies(&spec, &[Policy::Vanilla, Policy::Smart]);
+
+    println!("policy        instr/J        avg W    sim time   migrations");
+    for r in &results {
+        println!(
+            "{:<12} {:>10.3e} {:>10.3} {:>8.2} s {:>12}",
+            r.policy,
+            r.energy_efficiency(),
+            r.stats.avg_power_w(),
+            r.stats.elapsed_ns as f64 * 1e-9,
+            r.stats.migrations,
+        );
+    }
+    println!(
+        "\nSmartBalance / vanilla energy efficiency: {:.2}x",
+        results[1].efficiency_vs(&results[0])
+    );
+}

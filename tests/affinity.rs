@@ -1,0 +1,143 @@
+//! CPU-affinity integration tests: the paper notes that "special
+//! constraints can easily be included" — every layer (system,
+//! optimizer, all three policies) must honour `cpus_allowed` masks.
+
+use archsim::{CoreId, CoreTypeId, Platform, WorkloadCharacteristics};
+use kernelsim::{Allocation, System, SystemConfig, Task, TaskId};
+use smartbalance::{
+    anneal, AnnealParams, CharacterizationMatrices, Goal, GtsBalancer, Objective, SmartBalance,
+    VanillaBalancer,
+};
+use workloads::WorkloadProfile;
+
+fn hog(name: &str) -> WorkloadProfile {
+    WorkloadProfile::uniform(name, WorkloadCharacteristics::balanced(), u64::MAX / 8)
+}
+
+#[test]
+fn system_refuses_migration_outside_mask() {
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform, SystemConfig::default());
+    let tid = sys.next_task_id();
+    sys.spawn_task(Task::new(tid, hog("pinned"), CoreId(1)).with_affinity(0b0110));
+    let mut alloc = Allocation::new();
+    alloc.assign(tid, CoreId(0)); // forbidden by the mask
+    sys.apply_allocation(&alloc);
+    assert_eq!(sys.task(tid).core(), CoreId(1), "forbidden move ignored");
+    alloc.assign(tid, CoreId(2)); // allowed
+    sys.apply_allocation(&alloc);
+    assert_eq!(sys.task(tid).core(), CoreId(2));
+}
+
+#[test]
+fn annealer_never_violates_affinity() {
+    // A thread pinned to cores {2,3} must never land on 0/1 even if
+    // core 0 is overwhelmingly more efficient for it.
+    let mut m = CharacterizationMatrices::new(
+        (0..4).map(TaskId).collect(),
+        (0..4).map(CoreTypeId).collect(),
+        vec![0.01; 4],
+    );
+    for i in 0..4 {
+        for j in 0..4 {
+            // Core 0 is great for everyone.
+            let (ips, p) = if j == 0 { (4.0e9, 0.5) } else { (1.0e9, 1.0) };
+            m.set(i, j, ips, p, true);
+        }
+    }
+    m.set_allowed(0, 0b1100);
+    let obj = Objective::new(&m, Goal::EnergyEfficiency);
+    for seed in 0..10 {
+        let out = anneal(&obj, &[2, 1, 1, 1], AnnealParams::cooled(400), seed);
+        assert!(
+            out.allocation[0] == 2 || out.allocation[0] == 3,
+            "seed {seed}: pinned thread ended on core {}",
+            out.allocation[0]
+        );
+    }
+}
+
+#[test]
+fn smartbalance_honours_pinned_threads() {
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let pinned = sys.next_task_id();
+    // A compute hog pinned to the Small core — the worst possible
+    // placement, which the optimizer would otherwise fix immediately.
+    sys.spawn_task(
+        Task::new(
+            pinned,
+            WorkloadProfile::uniform(
+                "pinned-compute",
+                WorkloadCharacteristics::compute_bound(),
+                u64::MAX / 8,
+            ),
+            CoreId(3),
+        )
+        .with_affinity(0b1000),
+    );
+    sys.spawn_on(hog("free"), CoreId(0));
+    let mut policy = SmartBalance::new(&platform);
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+    }
+    assert_eq!(sys.task(pinned).core(), CoreId(3), "pin must hold");
+    assert_eq!(sys.task(pinned).migrations(), 0);
+}
+
+#[test]
+fn vanilla_respects_affinity_when_spreading() {
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform, SystemConfig::default());
+    // Four hogs stacked on core 0; two of them may only use {0,1}.
+    for i in 0..2 {
+        let tid = sys.next_task_id();
+        sys.spawn_task(Task::new(tid, hog(&format!("lim{i}")), CoreId(0)).with_affinity(0b0011));
+    }
+    for i in 0..2 {
+        sys.spawn_on(hog(&format!("free{i}")), CoreId(0));
+    }
+    let mut policy = VanillaBalancer::new();
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+    }
+    for t in sys.tasks() {
+        assert!(
+            t.allows_core(t.core()),
+            "task {} on forbidden core {}",
+            t.id(),
+            t.core()
+        );
+    }
+}
+
+#[test]
+fn gts_respects_affinity_even_for_busy_threads() {
+    let platform = Platform::octa_big_little();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    // A CPU hog pinned to the little cluster: GTS wants it big but may
+    // not move it there.
+    let tid = sys.next_task_id();
+    sys.spawn_task(Task::new(tid, hog("pinned-hog"), CoreId(5)).with_affinity(0b1111_0000));
+    let mut policy = GtsBalancer::new();
+    for _ in 0..5 {
+        sys.run_epoch(&mut policy);
+    }
+    let core = sys.task(tid).core();
+    assert!(core.0 >= 4, "pinned hog must stay on the little cluster, is on {core}");
+}
+
+#[test]
+fn affinity_builder_validates() {
+    let t = Task::new(TaskId(0), hog("x"), CoreId(1)).with_affinity(0b0010);
+    assert!(t.allows_core(CoreId(1)));
+    assert!(!t.allows_core(CoreId(0)));
+    let result = std::panic::catch_unwind(|| {
+        Task::new(TaskId(0), hog("x"), CoreId(1)).with_affinity(0b0001)
+    });
+    assert!(result.is_err(), "mask excluding the initial core must panic");
+    let result = std::panic::catch_unwind(|| {
+        Task::new(TaskId(0), hog("x"), CoreId(0)).with_affinity(0)
+    });
+    assert!(result.is_err(), "empty mask must panic");
+}

@@ -1,0 +1,152 @@
+//! Behavioural tests of the two baseline policies against the kernel
+//! simulator (not just unit-level report fixtures): the vanilla
+//! balancer's heterogeneity blindness and GTS's utilization-threshold
+//! clustering, as characterized in paper Table 1.
+
+use archsim::{CoreId, Platform, WorkloadCharacteristics};
+use kernelsim::{System, SystemConfig};
+use smartbalance::{GtsBalancer, VanillaBalancer};
+use workloads::{SleepPattern, WorkloadProfile};
+
+fn cpu_hog(name: &str) -> WorkloadProfile {
+    WorkloadProfile::uniform(name, WorkloadCharacteristics::balanced(), u64::MAX / 8)
+}
+
+#[test]
+fn vanilla_equalizes_counts_blind_to_core_types() {
+    // Eight equal CPU hogs stacked onto two cores: vanilla must end up
+    // with two per core — including the Huge core (that is its flaw).
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    for i in 0..8 {
+        sys.spawn_on(cpu_hog(&format!("w{i}")), CoreId(i % 2));
+    }
+    let mut policy = VanillaBalancer::new();
+    for _ in 0..4 {
+        sys.run_epoch(&mut policy);
+    }
+    let mut per_core = [0usize; 4];
+    for t in sys.tasks() {
+        per_core[t.core().0] += 1;
+    }
+    assert_eq!(per_core, [2, 2, 2, 2], "vanilla spreads evenly: {per_core:?}");
+}
+
+#[test]
+fn vanilla_is_stable_once_balanced() {
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    for i in 0..4 {
+        sys.spawn_on(cpu_hog(&format!("w{i}")), CoreId(i));
+    }
+    let mut policy = VanillaBalancer::new();
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+    }
+    assert_eq!(sys.total_migrations(), 0, "balanced system must not churn");
+}
+
+#[test]
+fn gts_up_migrates_busy_threads_to_big_cluster() {
+    let platform = Platform::octa_big_little();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    // Four CPU hogs started on little cores (4..7).
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        ids.push(sys.spawn_on(cpu_hog(&format!("hog{i}")), CoreId(4 + i)));
+    }
+    let mut policy = GtsBalancer::new();
+    for _ in 0..4 {
+        sys.run_epoch(&mut policy);
+    }
+    for id in ids {
+        let core = sys.task(id).core();
+        assert!(core.0 < 4, "hog {id} should be on a big core, is on {core}");
+    }
+}
+
+#[test]
+fn gts_down_migrates_idle_threads_to_little_cluster() {
+    let platform = Platform::octa_big_little();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    // Mostly-sleeping UI threads started on big cores.
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let p = cpu_hog(&format!("ui{i}"))
+            .with_sleep(SleepPattern::new(500_000, 20_000_000));
+        ids.push(sys.spawn_on(p, CoreId(i)));
+    }
+    let mut policy = GtsBalancer::new();
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+    }
+    for id in ids {
+        let core = sys.task(id).core();
+        assert!(
+            core.0 >= 4,
+            "idle thread {id} should be on a little core, is on {core}"
+        );
+    }
+}
+
+#[test]
+fn gts_ignores_memory_boundness() {
+    // The Table 1 gap: a 100 %-utilization but memory-bound thread is
+    // up-migrated by GTS even though a big core barely helps it — the
+    // behaviour SmartBalance's per-thread IPC awareness fixes.
+    let platform = Platform::octa_big_little();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let memory_hog = sys.spawn_on(
+        WorkloadProfile::uniform(
+            "memhog",
+            WorkloadCharacteristics::memory_bound(),
+            u64::MAX / 8,
+        ),
+        CoreId(5),
+    );
+    let mut policy = GtsBalancer::new();
+    for _ in 0..4 {
+        sys.run_epoch(&mut policy);
+    }
+    assert!(
+        sys.task(memory_hog).core().0 < 4,
+        "GTS up-migrates on utilization alone"
+    );
+
+    // SmartBalance, for contrast, keeps it on the little cluster.
+    let mut sys2 = System::new(platform.clone(), SystemConfig::default());
+    let memory_hog2 = sys2.spawn_on(
+        WorkloadProfile::uniform(
+            "memhog",
+            WorkloadCharacteristics::memory_bound(),
+            u64::MAX / 8,
+        ),
+        CoreId(5),
+    );
+    let mut smart = smartbalance::SmartBalance::new(&platform);
+    for _ in 0..4 {
+        sys2.run_epoch(&mut smart);
+    }
+    assert!(
+        sys2.task(memory_hog2).core().0 >= 4,
+        "SmartBalance keeps a memory-bound hog on the little cluster"
+    );
+}
+
+#[test]
+fn gts_spreads_load_within_cluster() {
+    let platform = Platform::octa_big_little();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    for i in 0..4 {
+        sys.spawn_on(cpu_hog(&format!("hog{i}")), CoreId(0));
+    }
+    let mut policy = GtsBalancer::new();
+    for _ in 0..4 {
+        sys.run_epoch(&mut policy);
+    }
+    let mut per_core = [0usize; 8];
+    for t in sys.tasks() {
+        per_core[t.core().0] += 1;
+    }
+    assert_eq!(&per_core[..4], &[1, 1, 1, 1], "one hog per big core: {per_core:?}");
+}

@@ -1,0 +1,218 @@
+//! Closed-loop behaviour tests: how the sense → predict → balance loop
+//! evolves across epochs — convergence, reaction to phase changes,
+//! stale-sample handling for interactive threads.
+
+use archsim::{CoreId, Platform, WorkloadCharacteristics};
+use kernelsim::{System, SystemConfig};
+use smartbalance::{ExperimentSpec, SmartBalance};
+use workloads::{Phase, SleepPattern, WorkloadProfile};
+
+#[test]
+fn allocation_converges_and_stops_migrating() {
+    // With a stationary workload the closed loop should settle: most
+    // migrations happen in the first epochs and then stop.
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    for (i, w) in [
+        WorkloadCharacteristics::compute_bound(),
+        WorkloadCharacteristics::memory_bound(),
+        WorkloadCharacteristics::branch_bound(),
+        WorkloadCharacteristics::balanced(),
+    ]
+    .iter()
+    .enumerate()
+    {
+        sys.spawn_on(
+            WorkloadProfile::uniform(format!("w{i}"), *w, u64::MAX / 4),
+            CoreId(i % 4),
+        );
+    }
+    let mut policy = SmartBalance::new(&platform);
+    for _ in 0..5 {
+        sys.run_epoch(&mut policy);
+    }
+    let early = sys.total_migrations();
+    for _ in 0..10 {
+        sys.run_epoch(&mut policy);
+    }
+    let late = sys.total_migrations() - early;
+    assert!(
+        late <= 2,
+        "stationary workload should stop migrating: {late} late migrations (early {early})"
+    );
+}
+
+#[test]
+fn reacts_to_phase_change() {
+    // A thread that flips from compute-bound to memory-bound mid-run
+    // should be moved off the big core after the flip becomes visible
+    // in its counters.
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    // Compute phase sized for ~20 epochs on the Huge core, then a long
+    // memory phase.
+    let profile = WorkloadProfile::new(
+        "shifter",
+        vec![
+            Phase::new(WorkloadCharacteristics::compute_bound(), 1_500_000_000),
+            Phase::new(WorkloadCharacteristics::memory_bound(), u64::MAX / 8),
+        ],
+    );
+    let tid = sys.spawn_on(profile, CoreId(0));
+    // Competition so the balancer has pressure to act.
+    for i in 0..3 {
+        sys.spawn_on(
+            WorkloadProfile::uniform(
+                format!("bg{i}"),
+                WorkloadCharacteristics::balanced(),
+                u64::MAX / 8,
+            ),
+            CoreId(1 + i),
+        );
+    }
+    let mut policy = SmartBalance::new(&platform);
+    let mut core_during_compute = None;
+    let mut core_after_shift = None;
+    for _ in 0..250 {
+        sys.run_epoch(&mut policy);
+        let t = sys.task(tid);
+        // Record the placement while still inside the compute phase
+        // (with margin so the sample reflects a settled decision).
+        if t.progress() < 1_200_000_000 {
+            core_during_compute = Some(t.core());
+        }
+        // The compute phase lasts 1.5e9 instructions; wait until the
+        // memory phase has been visible for a while.
+        if t.progress() > 2_500_000_000 {
+            core_after_shift = Some(t.core());
+            break;
+        }
+    }
+    let during = core_during_compute.expect("sampled during compute");
+    let after = core_after_shift.expect("reached memory phase");
+    let strength = |c: CoreId| platform.core_config(c).peak_ips();
+    assert!(
+        strength(after) <= strength(during),
+        "after turning memory-bound the thread must not sit on a stronger core \
+         (during: {during}, after: {after})"
+    );
+}
+
+#[test]
+fn interactive_thread_keeps_cached_signature() {
+    // A mostly-sleeping thread is balanced using its cached signature
+    // rather than bouncing to the prior every epoch.
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let profile = WorkloadProfile::uniform(
+        "sleepy",
+        WorkloadCharacteristics::compute_bound(),
+        u64::MAX / 4,
+    )
+    // 1 ms burst every 100 ms: many epochs contain no sample at all.
+    .with_sleep(SleepPattern::new(2_000_000, 100_000_000));
+    let tid = sys.spawn_on(profile, CoreId(0));
+    let mut policy = SmartBalance::new(&platform);
+    for _ in 0..30 {
+        sys.run_epoch(&mut policy);
+    }
+    let t = sys.task(tid);
+    assert!(!t.is_exited());
+    // The thread must not have been ping-ponged around: a couple of
+    // placement decisions at most.
+    assert!(
+        t.migrations() <= 4,
+        "stale-sample thread was migrated {} times",
+        t.migrations()
+    );
+}
+
+#[test]
+fn exited_threads_leave_the_loop() {
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let quick = sys.spawn_on(
+        WorkloadProfile::uniform("quick", WorkloadCharacteristics::balanced(), 1_000_000),
+        CoreId(1),
+    );
+    sys.spawn_on(
+        WorkloadProfile::uniform(
+            "long",
+            WorkloadCharacteristics::balanced(),
+            u64::MAX / 4,
+        ),
+        CoreId(2),
+    );
+    let mut policy = SmartBalance::new(&platform);
+    for _ in 0..5 {
+        sys.run_epoch(&mut policy);
+    }
+    assert!(sys.task(quick).is_exited());
+    assert_eq!(sys.live_tasks(), 1);
+    // Five more epochs must not touch the dead thread.
+    let migrations_before = sys.task(quick).migrations();
+    for _ in 0..5 {
+        sys.run_epoch(&mut policy);
+    }
+    assert_eq!(sys.task(quick).migrations(), migrations_before);
+}
+
+#[test]
+fn spawned_mid_run_threads_get_balanced() {
+    let platform = Platform::quad_heterogeneous();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let mut policy = SmartBalance::new(&platform);
+    sys.spawn_on(
+        WorkloadProfile::uniform(
+            "first",
+            WorkloadCharacteristics::balanced(),
+            u64::MAX / 4,
+        ),
+        CoreId(0),
+    );
+    for _ in 0..3 {
+        sys.run_epoch(&mut policy);
+    }
+    // Arrivals mid-run ("threads can enter and leave the system at any
+    // time", Section 3).
+    let late = sys.spawn_on(
+        WorkloadProfile::uniform(
+            "late-memory",
+            WorkloadCharacteristics::memory_bound(),
+            u64::MAX / 4,
+        ),
+        CoreId(0), // deliberately onto the busy Huge core
+    );
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+    }
+    // The memory-bound latecomer should have been moved off Huge.
+    assert_ne!(
+        sys.task(late).core(),
+        CoreId(0),
+        "late memory-bound arrival should not stay on the Huge core"
+    );
+}
+
+#[test]
+fn experiment_spec_parallelize_roundtrip() {
+    // Cross-crate sanity: parallelized bundles execute to completion
+    // and commit (approximately) the original instruction budget.
+    let platform = Platform::quad_heterogeneous();
+    let bench = workloads::parsec::swaptions().scaled(0.02);
+    let total = bench.total_instructions();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    for p in ExperimentSpec::parallelize(&bench, 4) {
+        sys.spawn(p);
+    }
+    let mut policy = SmartBalance::new(&platform);
+    let mut epochs = 0;
+    while sys.live_tasks() > 0 && epochs < 500 {
+        sys.run_epoch(&mut policy);
+        epochs += 1;
+    }
+    assert_eq!(sys.live_tasks(), 0, "all workers finish");
+    let committed = sys.stats().total_instructions;
+    let diff = (committed as f64 - total as f64).abs() / total as f64;
+    assert!(diff < 0.02, "work conservation: {committed} vs {total}");
+}

@@ -1,0 +1,97 @@
+//! DVFS-as-heterogeneity integration tests — paper Section 3: cores
+//! with identical micro-architecture at different nominal V/F points
+//! are distinct core types, and SmartBalance must exploit them like any
+//! other heterogeneity.
+
+use archsim::{CoreConfig, CoreTypeId, Platform};
+use smartbalance::{compare_policies, ExperimentSpec, Policy, PredictorSet};
+use workloads::parsec;
+
+/// Quad-core platform: one Big micro-architecture at four operating
+/// points (a frequency island per core).
+fn dvfs_platform() -> Platform {
+    let types = CoreConfig::big().dvfs_ladder(&[
+        (1.5e9, 0.80),
+        (1.2e9, 0.75),
+        (0.9e9, 0.68),
+        (0.6e9, 0.60),
+    ]);
+    Platform::new(
+        types,
+        vec![CoreTypeId(0), CoreTypeId(1), CoreTypeId(2), CoreTypeId(3)],
+    )
+}
+
+#[test]
+fn predictor_trains_across_operating_points() {
+    // Same µarch, different V/F: the cross-type prediction problem is
+    // almost pure frequency scaling plus latency effects, and the
+    // predictor should nail it.
+    let platform = dvfs_platform();
+    let predictors = PredictorSet::train(&platform, 200, 3);
+    let corpus = workloads::SyntheticGenerator::new(5).corpus(60);
+    for s in 0..4 {
+        for d in 0..4 {
+            if s == d {
+                continue;
+            }
+            let (err, _) = smartbalance::predict::evaluate_pair(
+                &predictors,
+                &platform,
+                &corpus,
+                CoreTypeId(s),
+                CoreTypeId(d),
+            );
+            assert!(err < 0.06, "{s}->{d}: DVFS-pair prediction error {err}");
+        }
+    }
+}
+
+#[test]
+fn smartbalance_exploits_frequency_islands() {
+    // A mixed workload on the DVFS platform: SmartBalance must beat
+    // the frequency-blind vanilla balancer.
+    let mut profiles = Vec::new();
+    for name in ["blackscholes", "canneal", "streamcluster"] {
+        let bench = parsec::by_name(name).expect("benchmark");
+        profiles.extend(ExperimentSpec::parallelize(&bench.scaled(0.2), 2));
+    }
+    let spec = ExperimentSpec::new("dvfs", dvfs_platform(), profiles);
+    let results = compare_policies(&spec, &[Policy::Vanilla, Policy::Smart]);
+    assert!(results.iter().all(|r| r.completed));
+    let ratio = results[1].efficiency_vs(&results[0]);
+    assert!(
+        ratio > 1.02,
+        "SmartBalance should exploit V/F heterogeneity, got {ratio:.3}"
+    );
+}
+
+#[test]
+fn slower_points_win_energy_for_memory_bound_work() {
+    // Memory-bound work should gravitate to the slowest/cheapest
+    // operating point under the energy goal.
+    use archsim::WorkloadCharacteristics;
+    use kernelsim::{System, SystemConfig};
+    use smartbalance::SmartBalance;
+    use workloads::WorkloadProfile;
+
+    let platform = dvfs_platform();
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let mem = sys.spawn_on(
+        WorkloadProfile::uniform(
+            "mem",
+            WorkloadCharacteristics::memory_bound(),
+            u64::MAX / 8,
+        ),
+        archsim::CoreId(0), // fastest island
+    );
+    let mut policy = SmartBalance::new(&platform);
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+    }
+    let core = sys.task(mem).core().0;
+    assert!(
+        core >= 2,
+        "memory-bound thread should sit on a slow island, is on core {core}"
+    );
+}

@@ -1,0 +1,243 @@
+//! Property-based cross-crate invariants (proptest): the DESIGN.md
+//! invariant list, exercised with randomized workloads, platforms and
+//! allocations.
+
+use archsim::{run_slice, CoreConfig, CoreId, CoreTypeId, Platform, WorkloadCharacteristics};
+use kernelsim::{NullBalancer, System, SystemConfig, TaskId};
+use proptest::prelude::*;
+use smartbalance::fixed::{fx_exp_neg, Fx, Randi};
+use smartbalance::{anneal, AnnealParams, CharacterizationMatrices, Goal, Objective};
+use workloads::WorkloadProfile;
+
+#[test]
+fn key_types_serde_roundtrip() {
+    // The library's data types are serializable (C-SERDE); verify the
+    // roundtrips actually preserve the values users would persist.
+    let platform = Platform::quad_heterogeneous();
+    let json = serde_json::to_string(&platform).expect("serialize platform");
+    let back: Platform = serde_json::from_str(&json).expect("deserialize platform");
+    assert_eq!(back, platform);
+
+    let w = WorkloadCharacteristics::memory_bound();
+    let back: WorkloadCharacteristics =
+        serde_json::from_str(&serde_json::to_string(&w).expect("ser")).expect("de");
+    assert_eq!(back, w);
+
+    let profile = workloads::parsec::bodytrack();
+    let back: WorkloadProfile =
+        serde_json::from_str(&serde_json::to_string(&profile).expect("ser")).expect("de");
+    assert_eq!(back, profile);
+
+    let params = AnnealParams::scaled_for(8, 16);
+    let back: AnnealParams =
+        serde_json::from_str(&serde_json::to_string(&params).expect("ser")).expect("de");
+    // JSON float text rounds the last ULP; compare with tolerance.
+    assert_eq!(back.max_iter, params.max_iter);
+    assert!((back.dperturb - params.dperturb).abs() < 1e-12);
+    assert!((back.daccept - params.daccept).abs() < 1e-12);
+
+    let predictors = smartbalance::PredictorSet::train(&platform, 20, 1);
+    let back: smartbalance::PredictorSet =
+        serde_json::from_str(&serde_json::to_string(&predictors).expect("ser")).expect("de");
+    // Float text rounds ULPs; check structure and behaviour instead.
+    assert_eq!(back.num_types(), predictors.num_types());
+    assert_eq!(back.is_sparse(), predictors.is_sparse());
+    let feats = [1.5, 0.01, 0.05, 0.3, 0.15, 0.05, 1e-3, 5e-3, 1.0, 1.0, 0.05];
+    for s in 0..4 {
+        for d in 0..4 {
+            let a = predictors.predict_ipc(&feats, CoreTypeId(s), CoreTypeId(d));
+            let b = back.predict_ipc(&feats, CoreTypeId(s), CoreTypeId(d));
+            assert!((a - b).abs() < 1e-9, "{s}->{d}: {a} vs {b}");
+        }
+    }
+}
+
+fn arb_characteristics() -> impl Strategy<Value = WorkloadCharacteristics> {
+    (
+        0.5f64..8.0,
+        0.0f64..0.6,
+        0.0f64..0.35,
+        1.0f64..8192.0,
+        1.0f64..512.0,
+        0.0f64..1.0,
+        1.0f64..10_000.0,
+        1.0f64..1_000.0,
+        1.0f64..8.0,
+    )
+        .prop_map(
+            |(ilp, mem, br, dws, cws, ent, dp, cp, mlp)| {
+                WorkloadCharacteristics {
+                    ilp,
+                    mem_share: mem,
+                    branch_share: br,
+                    data_working_set_kib: dws,
+                    code_working_set_kib: cws,
+                    branch_entropy: ent,
+                    data_pages: dp,
+                    code_pages: cp,
+                    mlp,
+                }
+                .clamped()
+            },
+        )
+}
+
+fn arb_core() -> impl Strategy<Value = CoreConfig> {
+    prop_oneof![
+        Just(CoreConfig::huge()),
+        Just(CoreConfig::big()),
+        Just(CoreConfig::medium()),
+        Just(CoreConfig::small()),
+        Just(CoreConfig::a15_like()),
+        Just(CoreConfig::a7_like()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// archsim: IPC is positive, bounded by peak, and counters are
+    /// internally consistent for any workload × core × duration.
+    #[test]
+    fn slice_counters_always_consistent(
+        w in arb_characteristics(),
+        core in arb_core(),
+        dur in 1_000u64..100_000_000,
+    ) {
+        let s = run_slice(&w, &core, dur);
+        prop_assert!(s.ipc > 0.0 && s.ipc <= core.peak_ipc * 1.001);
+        prop_assert!(s.activity >= 0.0 && s.activity <= 1.0);
+        let c = &s.counters;
+        prop_assert!(c.l1d_misses <= c.l1d_accesses);
+        prop_assert!(c.l1i_misses <= c.l1i_accesses);
+        prop_assert!(c.branch_mispredicts <= c.branch_instructions);
+        prop_assert!(c.itlb_misses <= c.itlb_accesses);
+        prop_assert!(c.dtlb_misses <= c.dtlb_accesses);
+        prop_assert!(c.mem_instructions <= c.instructions);
+        prop_assert!(c.branch_instructions <= c.instructions);
+        prop_assert!(c.cy_mem_stall <= c.cy_idle);
+    }
+
+    /// mcpat: power is monotone in activity and bounded by the
+    /// calibrated peak for every core type.
+    #[test]
+    fn power_monotone_and_bounded(core in arb_core(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let model = mcpat::CorePowerModel::calibrated(&core);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(model.active_power_w(lo) <= model.active_power_w(hi) + 1e-12);
+        prop_assert!(model.active_power_w(hi) <= core.peak_power_w * 1.000001);
+        prop_assert!(model.power_w(mcpat::PowerState::Sleeping) < model.active_power_w(0.0));
+    }
+
+    /// fixed point: e^-x stays within tolerance of the float result.
+    #[test]
+    fn fx_exp_matches_float(x in 0.0f64..11.0) {
+        let got = fx_exp_neg(Fx::from_f64(x)).to_f64();
+        let want = (-x).exp();
+        prop_assert!((got - want).abs() < 0.01 * want.max(0.05));
+    }
+
+    /// fixed point: randi_range never leaves its interval.
+    #[test]
+    fn randi_range_in_bounds(seed in any::<u32>(), lo in -100i64..100, span in 1i64..1000) {
+        let mut r = Randi::new(seed);
+        for _ in 0..100 {
+            let v = r.randi_range(lo, lo + span);
+            prop_assert!(v >= lo && v < lo + span);
+        }
+    }
+
+    /// annealer: for any random matrices and initial allocation, the
+    /// result is a valid allocation no worse than the initial one.
+    #[test]
+    fn anneal_valid_and_never_worse(
+        seed in any::<u32>(),
+        n in 2usize..8,
+        m in 1usize..12,
+    ) {
+        let mut gen = workloads::SyntheticGenerator::new(u64::from(seed) | 1);
+        let mut mat = CharacterizationMatrices::new(
+            (0..m).map(TaskId).collect(),
+            (0..n).map(CoreTypeId).collect(),
+            vec![0.01; n],
+        );
+        for i in 0..m {
+            for j in 0..n {
+                mat.set(i, j, gen.range(0.05e9, 4.0e9), gen.range(0.05, 9.0), false);
+            }
+            mat.set_utilization(i, gen.range(0.05, 1.0));
+        }
+        let initial: Vec<usize> = (0..m).map(|i| i % n).collect();
+        let objective = Objective::new(&mat, Goal::EnergyEfficiency);
+        let out = anneal(&objective, &initial, AnnealParams::cooled(150), seed);
+        prop_assert_eq!(out.allocation.len(), m);
+        for &c in &out.allocation {
+            prop_assert!(c < n);
+        }
+        prop_assert!(out.objective >= out.initial_objective - 1e-12);
+        // And the reported objective matches a fresh evaluation.
+        let fresh = objective.evaluate(&out.allocation);
+        prop_assert!((fresh - out.objective).abs() < 1e-9);
+    }
+
+    /// kernelsim: total instructions across tasks equal total across
+    /// cores, for random task sets.
+    #[test]
+    fn task_and_core_ledgers_agree(
+        seed in any::<u64>(),
+        tasks in 1usize..10,
+    ) {
+        let platform = Platform::quad_heterogeneous();
+        let mut sys = System::new(platform, SystemConfig::default());
+        let mut gen = workloads::SyntheticGenerator::new(seed | 1);
+        for i in 0..tasks {
+            let interactive = gen.below(2) == 0;
+            sys.spawn(gen.profile(format!("t{i}"), 3, 200_000_000, interactive));
+        }
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        let task_instr: u64 = report.tasks.iter().map(|t| t.counters.instructions).sum();
+        let core_instr: u64 = report.cores.iter().map(|c| c.counters.instructions).sum();
+        prop_assert_eq!(task_instr, core_instr);
+        let task_energy: f64 = report.tasks.iter().map(|t| t.energy_j).sum();
+        let core_energy: f64 = report.cores.iter().map(|c| c.energy_j).sum();
+        // Core energy additionally includes sleep energy.
+        prop_assert!(core_energy >= task_energy - 1e-12);
+    }
+
+    /// kernelsim: migration preserves tasks (none lost or duplicated)
+    /// for random allocations.
+    #[test]
+    fn migration_preserves_tasks(seed in any::<u64>(), moves in 1usize..20) {
+        let platform = Platform::quad_heterogeneous();
+        let mut sys = System::new(platform, SystemConfig::default());
+        let mut gen = workloads::SyntheticGenerator::new(seed | 1);
+        let ids: Vec<TaskId> = (0..6)
+            .map(|i| {
+                sys.spawn(WorkloadProfile::uniform(
+                    format!("t{i}"),
+                    WorkloadCharacteristics::balanced(),
+                    u64::MAX / 8,
+                ))
+            })
+            .collect();
+        for _ in 0..moves {
+            let mut alloc = kernelsim::Allocation::new();
+            for &id in &ids {
+                alloc.assign(id, CoreId(gen.below(4) as usize));
+            }
+            sys.apply_allocation(&alloc);
+            let mut nb = NullBalancer;
+            sys.run_period();
+            let _ = &mut nb;
+        }
+        // Every task exists exactly once and sits on a valid core.
+        prop_assert_eq!(sys.tasks().len(), 6);
+        for t in sys.tasks() {
+            prop_assert!(t.core().0 < 4);
+        }
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        prop_assert_eq!(report.tasks.len(), 6);
+    }
+}

@@ -1,0 +1,91 @@
+//! Scalability integration tests: the full stack on larger platforms
+//! (the Fig. 7(b)/Fig. 8 regime) — correctness at scale, not speed.
+
+use archsim::Platform;
+use kernelsim::{System, SystemConfig};
+use smartbalance::{anneal, known_optimum_case, AnnealParams, Goal, Objective, SmartBalance};
+use workloads::SyntheticGenerator;
+
+#[test]
+fn thirty_two_core_platform_runs_end_to_end() {
+    let platform = Platform::scaled_heterogeneous(32);
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let mut gen = SyntheticGenerator::new(99);
+    for i in 0..64 {
+        sys.spawn(gen.profile(format!("t{i}"), 2, 100_000_000, i % 4 == 0));
+    }
+    let mut policy = SmartBalance::new(&platform);
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+    }
+    // Every live task sits on a valid core; accounting still balances.
+    for t in sys.tasks() {
+        assert!(t.core().0 < 32);
+    }
+    let stats = sys.stats();
+    let per_core: u64 = stats.per_core.iter().map(|c| c.instructions).sum();
+    assert_eq!(per_core, stats.total_instructions);
+    assert!(stats.total_instructions > 0);
+}
+
+#[test]
+fn annealer_stays_near_optimal_across_scales() {
+    // The Fig. 8(a) measurement as a regression gate: with the scaled
+    // iteration budgets, distance to the known optimum stays small.
+    for &cores in &[2usize, 8, 32] {
+        let threads = cores * 2;
+        let case = known_optimum_case(cores, 2, 7 * cores as u64);
+        let objective = Objective::new(&case.matrices, Goal::EnergyEfficiency);
+        let params = AnnealParams::scaled_for(cores, threads);
+        let out = anneal(&objective, &vec![0usize; threads], params, 5);
+        let distance = 1.0 - out.objective / case.optimal_value;
+        assert!(
+            distance < 0.05,
+            "{cores} cores: distance to optimal {distance:.3}"
+        );
+    }
+}
+
+#[test]
+fn iteration_budget_rule_is_monotone_and_capped() {
+    let mut prev = 0;
+    for &(n, m) in &[(2usize, 4usize), (4, 8), (8, 16), (32, 64), (128, 256)] {
+        let p = AnnealParams::scaled_for(n, m);
+        assert!(p.max_iter >= prev, "budget must not shrink with size");
+        assert!(p.max_iter <= 4_000, "budget must stay capped");
+        prev = p.max_iter;
+    }
+}
+
+#[test]
+fn predictor_training_scales_to_more_core_types() {
+    // 6 distinct core types (the aggressive-heterogeneity pitch):
+    // training covers all 36 ordered pairs.
+    use archsim::{CoreConfig, CoreTypeId};
+    let mut types = vec![
+        CoreConfig::huge(),
+        CoreConfig::big(),
+        CoreConfig::medium(),
+        CoreConfig::small(),
+        CoreConfig::a15_like(),
+        CoreConfig::a7_like(),
+    ];
+    // Make names unique (cosmetic).
+    for (i, t) in types.iter_mut().enumerate() {
+        t.name = format!("{}_{i}", t.name);
+    }
+    let gamma = (0..6).map(CoreTypeId).collect();
+    let platform = Platform::new(types, gamma);
+    let predictors = smartbalance::PredictorSet::train(&platform, 150, 5);
+    assert_eq!(predictors.num_types(), 6);
+    // Spot-check a cross-type prediction is physical.
+    let corpus = SyntheticGenerator::new(1).corpus(20);
+    let (err, _) = smartbalance::predict::evaluate_pair(
+        &predictors,
+        &platform,
+        &corpus,
+        CoreTypeId(0),
+        CoreTypeId(5),
+    );
+    assert!(err < 0.2, "6-type cross prediction error {err}");
+}
