@@ -101,8 +101,8 @@ impl CacheModel {
     /// the compulsory floor map to a small cache-resident working set;
     /// rates at or above the ceiling map to a very large one.
     pub fn working_set_for(&self, miss_rate: f64) -> f64 {
-        let cap_component = (miss_rate - COMPULSORY_RATE)
-            .clamp(1.0e-7, MAX_CACHE_MISS_RATE * 0.999_9);
+        let cap_component =
+            (miss_rate - COMPULSORY_RATE).clamp(1.0e-7, MAX_CACHE_MISS_RATE * 0.999_9);
         let occupancy = (cap_component / MAX_CACHE_MISS_RATE).powf(1.0 / CACHE_SHAPE);
         CAPACITY_HEADROOM * self.capacity_kib * occupancy / (1.0 - occupancy)
     }

@@ -446,12 +446,26 @@ mod tests {
             [h.issue_width, b.issue_width, m.issue_width, s.issue_width],
             [8, 4, 2, 1]
         );
-        assert_eq!([h.rob_size, b.rob_size, m.rob_size, s.rob_size], [192, 128, 64, 64]);
-        assert_eq!([h.iq_size, b.iq_size, m.iq_size, s.iq_size], [64, 32, 16, 16]);
-        assert_eq!([h.l1d_kib, b.l1d_kib, m.l1d_kib, s.l1d_kib], [64, 32, 16, 16]);
+        assert_eq!(
+            [h.rob_size, b.rob_size, m.rob_size, s.rob_size],
+            [192, 128, 64, 64]
+        );
+        assert_eq!(
+            [h.iq_size, b.iq_size, m.iq_size, s.iq_size],
+            [64, 32, 16, 16]
+        );
+        assert_eq!(
+            [h.l1d_kib, b.l1d_kib, m.l1d_kib, s.l1d_kib],
+            [64, 32, 16, 16]
+        );
         assert_eq!([h.vdd, b.vdd, m.vdd, s.vdd], [1.0, 0.8, 0.7, 0.6]);
         assert_eq!(
-            [h.peak_power_w, b.peak_power_w, m.peak_power_w, s.peak_power_w],
+            [
+                h.peak_power_w,
+                b.peak_power_w,
+                m.peak_power_w,
+                s.peak_power_w
+            ],
             [8.62, 1.41, 0.53, 0.095]
         );
     }
@@ -518,11 +532,7 @@ mod tests {
     fn dvfs_ladder_is_more_efficient_when_slower() {
         // Energy per instruction at peak = P / IPS must decrease as the
         // operating point drops (the whole point of DVFS).
-        let ladder = CoreConfig::big().dvfs_ladder(&[
-            (1.5e9, 0.8),
-            (1.0e9, 0.7),
-            (0.6e9, 0.6),
-        ]);
+        let ladder = CoreConfig::big().dvfs_ladder(&[(1.5e9, 0.8), (1.0e9, 0.7), (0.6e9, 0.6)]);
         assert_eq!(ladder.len(), 3);
         let epi: Vec<f64> = ladder
             .iter()

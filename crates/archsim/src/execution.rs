@@ -134,11 +134,7 @@ mod tests {
 
     #[test]
     fn zero_duration_is_empty() {
-        let s = run_slice(
-            &WorkloadCharacteristics::balanced(),
-            &CoreConfig::big(),
-            0,
-        );
+        let s = run_slice(&WorkloadCharacteristics::balanced(), &CoreConfig::big(), 0);
         assert_eq!(s.instructions, 0);
         assert!(s.counters.is_empty());
         assert_eq!(s.ips(), 0.0);

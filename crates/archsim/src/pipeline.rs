@@ -210,7 +210,10 @@ mod tests {
     fn compute_bound_prefers_wide_cores() {
         let w = WorkloadCharacteristics::compute_bound();
         let ipc: Vec<f64> = all_cores().iter().map(|c| estimate(&w, c).ipc).collect();
-        assert!(ipc[0] > ipc[1] && ipc[1] > ipc[2] && ipc[2] > ipc[3], "{ipc:?}");
+        assert!(
+            ipc[0] > ipc[1] && ipc[1] > ipc[2] && ipc[2] > ipc[3],
+            "{ipc:?}"
+        );
         // And in absolute throughput (IPS) the gap widens with frequency.
         let ips: Vec<f64> = all_cores()
             .iter()

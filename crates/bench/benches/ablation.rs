@@ -112,12 +112,13 @@ fn bench_oracle_vs_predicted(c: &mut Criterion) {
     // Oracle: exact model evaluation for every (thread, core).
     let mut oracle = CharacterizationMatrices::new(
         (0..8).map(TaskId).collect(),
-        platform.cores().map(|cid| platform.core_type(cid)).collect(),
         platform
             .cores()
-            .map(|cid| {
-                mcpat::CorePowerModel::calibrated(platform.core_config(cid)).sleep_power_w()
-            })
+            .map(|cid| platform.core_type(cid))
+            .collect(),
+        platform
+            .cores()
+            .map(|cid| mcpat::CorePowerModel::calibrated(platform.core_config(cid)).sleep_power_w())
             .collect(),
     );
     let mut predicted = oracle.clone();
@@ -125,8 +126,7 @@ fn bench_oracle_vs_predicted(c: &mut Criterion) {
         // Signature sampled on the Big core (type 1).
         let src_cfg = platform.type_config(CoreTypeId(1));
         let slice = archsim::run_slice(w, src_cfg, 10_000_000);
-        let feats =
-            smartbalance::sense::features_from_counters(&slice.counters, src_cfg.freq_hz);
+        let feats = smartbalance::sense::features_from_counters(&slice.counters, src_cfg.freq_hz);
         for j in 0..4 {
             let cfg = platform.core_config(archsim::CoreId(j));
             let est = estimate(w, cfg);

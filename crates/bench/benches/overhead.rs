@@ -5,9 +5,7 @@
 use archsim::Platform;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use kernelsim::{NullBalancer, System, SystemConfig};
-use smartbalance::{
-    anneal, build_matrices, AnnealParams, Goal, Objective, PredictorSet, Sensor,
-};
+use smartbalance::{anneal, build_matrices, AnnealParams, Goal, Objective, PredictorSet, Sensor};
 use workloads::SyntheticGenerator;
 
 fn epoch_report(platform: &Platform, threads: usize) -> kernelsim::EpochReport {

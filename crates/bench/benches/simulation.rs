@@ -26,7 +26,7 @@ fn bench_epoch(c: &mut Criterion) {
             BenchmarkId::new("epoch", format!("{policy:?}")),
             &policy,
             |b, &p| {
-                let mut balancer: Box<dyn LoadBalancer> = p.build(&platform);
+                let mut balancer: Box<dyn LoadBalancer> = p.build(&platform, None);
                 let mut sys = loaded_system(&platform, 8);
                 b.iter(|| sys.run_epoch(balancer.as_mut()))
             },

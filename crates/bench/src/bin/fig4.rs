@@ -13,10 +13,10 @@
 //! Usage: `fig4 [--set imb|parsec|all] [--threads 2,4,8] [--json out.json]`
 
 use archsim::Platform;
-use smartbalance::{compare_policies, Policy};
+use smartbalance::Policy;
 use smartbalance_bench::{
-    imb_workloads, maybe_dump_json, parsec_workloads, print_rows, spec_for, ComparisonRow,
-    THREAD_COUNTS,
+    imb_workloads, maybe_dump_json, parsec_workloads, print_rows, print_suite_summary,
+    run_policy_grid, ComparisonRow, THREAD_COUNTS,
 };
 
 fn parse_threads(args: &[String]) -> Vec<usize> {
@@ -38,22 +38,24 @@ fn run_set(
     bundles: &[(String, Vec<workloads::WorkloadProfile>)],
     threads: &[usize],
 ) -> Vec<ComparisonRow> {
-    let mut rows = Vec::new();
-    for (label, bundle) in bundles {
-        for &t in threads {
-            let spec = spec_for(label, platform, bundle, t);
-            let results = compare_policies(&spec, &[Policy::Vanilla, Policy::Smart]);
-            rows.push(ComparisonRow {
-                label: label.clone(),
-                threads: t,
-                baseline: "vanilla".to_owned(),
-                baseline_eff: results[0].energy_efficiency(),
-                smart_eff: results[1].energy_efficiency(),
-                ratio: results[1].efficiency_vs(&results[0]),
-            });
-        }
-    }
+    // Every workload × thread-count runs under both policies in one
+    // parallel suite; job chunks come back aligned with the keys.
+    let policies = [Policy::Vanilla, Policy::Smart];
+    let (report, keys) = run_policy_grid(platform, bundles, threads, &policies);
+    let rows: Vec<ComparisonRow> = keys
+        .iter()
+        .zip(report.jobs.chunks(policies.len()))
+        .map(|((label, t), pair)| ComparisonRow {
+            label: label.clone(),
+            threads: *t,
+            baseline: "vanilla".to_owned(),
+            baseline_eff: pair[0].result.energy_efficiency(),
+            smart_eff: pair[1].result.energy_efficiency(),
+            ratio: pair[1].result.efficiency_vs(&pair[0].result),
+        })
+        .collect();
     print_rows(title, &rows);
+    print_suite_summary(&report);
     rows
 }
 
@@ -91,8 +93,7 @@ fn main() {
         ));
     }
 
-    let avg: f64 =
-        all_rows.iter().map(|r| r.ratio).sum::<f64>() / all_rows.len().max(1) as f64;
+    let avg: f64 = all_rows.iter().map(|r| r.ratio).sum::<f64>() / all_rows.len().max(1) as f64;
     println!(
         "\noverall: SmartBalance vs vanilla = {:+.1} % (paper: >50 %)",
         (avg - 1.0) * 100.0

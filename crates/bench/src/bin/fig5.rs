@@ -13,8 +13,10 @@
 
 use archsim::Platform;
 use serde::Serialize;
-use smartbalance::{compare_policies, ExperimentSpec, Policy};
-use smartbalance_bench::{imb_workloads, maybe_dump_json, parsec_workloads, spec_for};
+use smartbalance::Policy;
+use smartbalance_bench::{
+    imb_workloads, maybe_dump_json, parsec_workloads, print_suite_summary, run_policy_grid,
+};
 
 #[derive(Debug, Serialize)]
 struct LadderRow {
@@ -28,37 +30,39 @@ struct LadderRow {
     gts_vs_iks: f64,
 }
 
-fn run(label: &str, spec: &ExperimentSpec) -> LadderRow {
-    let results = compare_policies(spec, &[Policy::Iks, Policy::Gts, Policy::Smart]);
-    let (iks, gts, smart) = (
-        results[0].energy_efficiency(),
-        results[1].energy_efficiency(),
-        results[2].energy_efficiency(),
-    );
-    LadderRow {
-        label: label.to_owned(),
-        iks_eff: iks,
-        gts_eff: gts,
-        smart_eff: smart,
-        smart_vs_gts: if gts > 0.0 { smart / gts } else { 0.0 },
-        gts_vs_iks: if iks > 0.0 { gts / iks } else { 0.0 },
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let platform = Platform::octa_big_little();
-    let mut rows = Vec::new();
 
-    for (label, bundle) in parsec_workloads() {
-        rows.push(run(&label, &spec_for(&label, &platform, &bundle, 4)));
-    }
-    for (label, profile) in imb_workloads()
-        .into_iter()
-        .filter(|(n, _)| n == "HTHI" || n == "MTMI" || n == "LTLI")
-    {
-        rows.push(run(&label, &spec_for(&label, &platform, &[profile], 4)));
-    }
+    // Whole policy ladder × every workload as one parallel suite.
+    let mut bundles = parsec_workloads();
+    bundles.extend(
+        imb_workloads()
+            .into_iter()
+            .filter(|(n, _)| n == "HTHI" || n == "MTMI" || n == "LTLI")
+            .map(|(n, p)| (n, vec![p])),
+    );
+    let policies = [Policy::Iks, Policy::Gts, Policy::Smart];
+    let (report, keys) = run_policy_grid(&platform, &bundles, &[4], &policies);
+    let rows: Vec<LadderRow> = keys
+        .iter()
+        .zip(report.jobs.chunks(policies.len()))
+        .map(|((label, _), ladder)| {
+            let (iks, gts, smart) = (
+                ladder[0].result.energy_efficiency(),
+                ladder[1].result.energy_efficiency(),
+                ladder[2].result.energy_efficiency(),
+            );
+            LadderRow {
+                label: label.clone(),
+                iks_eff: iks,
+                gts_eff: gts,
+                smart_eff: smart,
+                smart_vs_gts: if gts > 0.0 { smart / gts } else { 0.0 },
+                gts_vs_iks: if iks > 0.0 { gts / iks } else { 0.0 },
+            }
+        })
+        .collect();
 
     println!("\n=== Fig 5: normalized energy efficiency on octa-core big.LITTLE ===");
     println!(
@@ -79,5 +83,6 @@ fn main() {
         (avg_sg - 1.0) * 100.0,
         (avg_gi - 1.0) * 100.0
     );
+    print_suite_summary(&report);
     maybe_dump_json(&args, &rows);
 }

@@ -11,6 +11,7 @@
 
 use archsim::{CoreTypeId, Platform};
 use serde::Serialize;
+use smartbalance::parallel_indexed;
 use smartbalance::predict::{evaluate_pair, PredictorSet};
 use smartbalance_bench::maybe_dump_json;
 
@@ -33,10 +34,17 @@ fn main() {
     }
 
     println!("Fig 6: average prediction error across PARSEC");
-    println!("{:<16} {:>10} {:>10}", "benchmark", "perf err%", "power err%");
-    let mut rows = Vec::new();
-    let (mut sum_ipc, mut sum_pow) = (0.0, 0.0);
-    for b in &benchmarks {
+    println!(
+        "{:<16} {:>10} {:>10}",
+        "benchmark", "perf err%", "power err%"
+    );
+    // Each benchmark's q² pair-evaluations are independent; fan them
+    // out with the suite's work-distribution helper.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows = parallel_indexed(benchmarks.len(), workers, |i| {
+        let b = &benchmarks[i];
         let corpus: Vec<_> = b.phases().iter().map(|p| p.characteristics).collect();
         let mut ipc_err = 0.0;
         let mut pow_err = 0.0;
@@ -58,16 +66,20 @@ fn main() {
                 pairs += 1;
             }
         }
-        let ipc_pct = 100.0 * ipc_err / pairs as f64;
-        let pow_pct = 100.0 * pow_err / pairs as f64;
-        println!("{:<16} {:>10.2} {:>10.2}", b.name(), ipc_pct, pow_pct);
-        sum_ipc += ipc_pct;
-        sum_pow += pow_pct;
-        rows.push(ErrorRow {
+        ErrorRow {
             benchmark: b.name().to_owned(),
-            ipc_error_pct: ipc_pct,
-            power_error_pct: pow_pct,
-        });
+            ipc_error_pct: 100.0 * ipc_err / pairs as f64,
+            power_error_pct: 100.0 * pow_err / pairs as f64,
+        }
+    });
+    let (mut sum_ipc, mut sum_pow) = (0.0, 0.0);
+    for r in &rows {
+        println!(
+            "{:<16} {:>10.2} {:>10.2}",
+            r.benchmark, r.ipc_error_pct, r.power_error_pct
+        );
+        sum_ipc += r.ipc_error_pct;
+        sum_pow += r.power_error_pct;
     }
     let n = benchmarks.len() as f64;
     println!(

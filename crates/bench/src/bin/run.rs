@@ -19,8 +19,8 @@
 //! - `--trace <path>` write a lifecycle-level scheduler trace CSV
 
 use archsim::{CoreConfig, CoreTypeId, Platform};
-use kernelsim::{System, TraceLevel};
-use smartbalance::{ExperimentSpec, Policy};
+use kernelsim::TraceLevel;
+use smartbalance::{ExperimentSpec, ExperimentSuite, Policy, TraceRequest};
 use workloads::{ImbConfig, MixId, WorkloadProfile};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -112,22 +112,37 @@ fn main() {
         platform.num_types(),
     );
 
-    let mut sys = System::new(platform.clone(), kernelsim::SystemConfig::default());
+    let num_tasks = profiles.len();
+    let spec = ExperimentSpec::new(format!("{workload}/{threads}t"), platform.clone(), profiles)
+        .with_max_epochs(max_epochs);
+    let mut suite = ExperimentSuite::new();
     if trace_path.is_some() {
-        sys.enable_tracing(TraceLevel::Lifecycle, 100_000);
+        suite.push_traced(
+            spec,
+            policy,
+            TraceRequest {
+                level: TraceLevel::Lifecycle,
+                capacity: 100_000,
+            },
+        );
+    } else {
+        suite.push(spec, policy);
     }
-    for p in &profiles {
-        sys.spawn(p.clone());
-    }
-    let mut balancer = policy.build(&platform);
-    let epochs = sys.run_to_completion(balancer.as_mut(), max_epochs);
-    let stats = sys.stats();
+    let report = suite.run();
+    let job = &report.jobs[0];
+    let stats = &job.result.stats;
 
-    println!("\nepochs:        {epochs} ({} completed of {} tasks)", stats.completed_tasks, profiles.len());
+    println!(
+        "\nepochs:        {} ({} completed of {} tasks)",
+        job.result.epochs, stats.completed_tasks, num_tasks
+    );
     println!("sim time:      {:.3} s", stats.elapsed_ns as f64 * 1e-9);
     println!("instructions:  {:.4e}", stats.total_instructions as f64);
     println!("energy:        {:.4} J", stats.total_energy_j);
-    println!("efficiency:    {:.4e} instr/J", stats.instructions_per_joule());
+    println!(
+        "efficiency:    {:.4e} instr/J",
+        stats.instructions_per_joule()
+    );
     println!("throughput:    {:.4e} instr/s", stats.throughput_ips());
     println!("avg power:     {:.3} W", stats.avg_power_w());
     println!("migrations:    {}", stats.migrations);
@@ -144,12 +159,11 @@ fn main() {
     }
 
     if let Some(path) = trace_path {
-        let csv = sys.tracer().to_csv();
-        std::fs::write(&path, csv).expect("write trace");
+        let capture = job.trace.as_ref().expect("trace was requested");
+        std::fs::write(&path, &capture.csv).expect("write trace");
         println!(
             "\ntrace: {} events written to {path} ({} overwritten)",
-            sys.tracer().events().len(),
-            sys.tracer().dropped()
+            capture.events, capture.dropped
         );
     }
 }

@@ -13,12 +13,11 @@
 //! Usage: `sensitivity [--json out.json]`
 
 use archsim::{CoreTypeId, Platform};
+use kernelsim::SystemConfig;
 use serde::Serialize;
 use smartbalance::predict::{evaluate_pair, PredictorSet};
-use smartbalance::{
-    compare_policies, run_experiment, ExperimentSpec, Policy, SmartBalance, SmartBalanceConfig,
-};
-use smartbalance_bench::maybe_dump_json;
+use smartbalance::{ExperimentSpec, ExperimentSuite, Policy, SmartBalanceConfig};
+use smartbalance_bench::{maybe_dump_json, print_suite_summary, stderr_progress};
 
 #[derive(Debug, Serialize)]
 struct SensitivityRow {
@@ -34,12 +33,6 @@ fn mixed_spec(platform: &Platform) -> ExperimentSpec {
         profiles.extend(ExperimentSpec::parallelize(&bench.scaled(0.4), 2));
     }
     ExperimentSpec::new("sensitivity", platform.clone(), profiles)
-}
-
-fn gain_with(spec: &ExperimentSpec, cfg: SmartBalanceConfig, vanilla_eff: f64) -> f64 {
-    let mut policy = SmartBalance::with_config(&spec.platform, cfg);
-    let r = run_experiment(spec, &mut policy);
-    100.0 * (r.energy_efficiency() / vanilla_eff - 1.0)
 }
 
 fn mean_ipc_error(platform: &Platform, predictors: &PredictorSet) -> f64 {
@@ -60,68 +53,88 @@ fn mean_ipc_error(platform: &Platform, predictors: &PredictorSet) -> f64 {
     100.0 * total / pairs as f64
 }
 
+/// One queued scenario: label, the Smart job to read, the Vanilla job
+/// it normalizes against, and an optional offline prediction error.
+struct Scenario {
+    label: String,
+    smart_job: usize,
+    baseline_job: usize,
+    ipc_error_pct: Option<f64>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let platform = Platform::quad_heterogeneous();
     let spec = mixed_spec(&platform);
-    let vanilla_eff = {
-        let results = compare_policies(&spec, &[Policy::Vanilla]);
-        results[0].energy_efficiency()
-    };
-    let mut rows = Vec::new();
 
-    println!("Sensing-robustness study (mixed PARSEC workload, quad-core HMP)");
-    println!("{:<28} {:>12} {:>18}", "scenario", "ipc err %", "gain vs vanilla %");
+    // Queue every scenario — noise sweep, counter-set ablation, epoch
+    // sweep and their baselines — onto one parallel suite.
+    let mut suite = ExperimentSuite::new().on_progress(stderr_progress);
+    let mut scenarios = Vec::new();
 
-    // --- Power-sensor noise sweep ------------------------------------
+    let shared_baseline = suite.push(spec.clone(), Policy::Vanilla);
+
     for sigma in [0.0, 0.02, 0.05, 0.10, 0.20] {
         let cfg = SmartBalanceConfig {
             power_noise_sigma: sigma,
             ..SmartBalanceConfig::default()
         };
-        let gain = gain_with(&spec, cfg, vanilla_eff);
-        let label = format!("power noise σ={sigma:.2}");
-        println!("{label:<28} {:>12} {gain:>18.1}", "-");
-        rows.push(SensitivityRow {
-            scenario: label,
+        scenarios.push(Scenario {
+            label: format!("power noise σ={sigma:.2}"),
+            smart_job: suite.push(spec.clone().with_policy_config(cfg), Policy::Smart),
+            baseline_job: shared_baseline,
             ipc_error_pct: None,
-            gain_vs_vanilla_pct: gain,
         });
     }
 
-    // --- Full vs sparse counter set ----------------------------------
     for (label, sparse) in [("full counters (11)", false), ("sparse counters (8)", true)] {
         let predictors = PredictorSet::train_with_sparsity(&platform, 400, 0xDAC_2015, sparse);
-        let err = mean_ipc_error(&platform, &predictors);
         let cfg = SmartBalanceConfig {
             sparse_sensing: sparse,
             ..SmartBalanceConfig::default()
         };
-        let gain = gain_with(&spec, cfg, vanilla_eff);
-        println!("{label:<28} {err:>12.2} {gain:>18.1}");
-        rows.push(SensitivityRow {
-            scenario: label.to_owned(),
-            ipc_error_pct: Some(err),
-            gain_vs_vanilla_pct: gain,
+        scenarios.push(Scenario {
+            label: label.to_owned(),
+            smart_job: suite.push(spec.clone().with_policy_config(cfg), Policy::Smart),
+            baseline_job: shared_baseline,
+            ipc_error_pct: Some(mean_ipc_error(&platform, &predictors)),
         });
     }
 
-    // --- Epoch-length sweep -------------------------------------------
-    println!();
     for periods in [2u64, 5, 10, 20, 50] {
-        let mut spec = spec.clone();
-        spec.sys_config.epoch_periods = periods;
         // Re-measure the baseline at the same epoch length for fairness.
-        let vanilla = {
-            let results = compare_policies(&spec, &[Policy::Vanilla]);
-            results[0].energy_efficiency()
+        let sys_config = SystemConfig {
+            epoch_periods: periods,
+            ..SystemConfig::default()
         };
-        let gain = gain_with(&spec, SmartBalanceConfig::default(), vanilla);
-        let label = format!("epoch = {periods} periods ({} ms)", periods * 6);
-        println!("{label:<28} {:>12} {gain:>18.1}", "-");
-        rows.push(SensitivityRow {
-            scenario: label,
+        let epoch_spec = spec.clone().with_sys_config(sys_config);
+        scenarios.push(Scenario {
+            label: format!("epoch = {periods} periods ({} ms)", periods * 6),
+            smart_job: suite.push(epoch_spec.clone(), Policy::Smart),
+            baseline_job: suite.push(epoch_spec, Policy::Vanilla),
             ipc_error_pct: None,
+        });
+    }
+
+    let report = suite.run();
+
+    println!("Sensing-robustness study (mixed PARSEC workload, quad-core HMP)");
+    println!(
+        "{:<28} {:>12} {:>18}",
+        "scenario", "ipc err %", "gain vs vanilla %"
+    );
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let smart = &report.jobs[s.smart_job].result;
+        let baseline = &report.jobs[s.baseline_job].result;
+        let gain = 100.0 * (smart.efficiency_vs(baseline) - 1.0);
+        match s.ipc_error_pct {
+            Some(err) => println!("{:<28} {err:>12.2} {gain:>18.1}", s.label),
+            None => println!("{:<28} {:>12} {gain:>18.1}", s.label, "-"),
+        }
+        rows.push(SensitivityRow {
+            scenario: s.label.clone(),
+            ipc_error_pct: s.ipc_error_pct,
             gain_vs_vanilla_pct: gain,
         });
     }
@@ -131,5 +144,6 @@ fn main() {
          counter set costs prediction accuracy; very short epochs over-migrate and\n\
          very long ones under-react — the paper's 60 ms sits in the flat middle)"
     );
+    print_suite_summary(&report);
     maybe_dump_json(&args, &rows);
 }

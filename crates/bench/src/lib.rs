@@ -21,7 +21,8 @@ use archsim::Platform;
 use kernelsim::{EpochReport, LoadBalancer, System, SystemConfig};
 use serde::Serialize;
 use smartbalance::{
-    anneal, build_matrices, AnnealParams, ExperimentSpec, Goal, Objective, PredictorSet, Sensor,
+    anneal, build_matrices, AnnealParams, ExperimentSpec, ExperimentSuite, Goal, Objective, Policy,
+    PredictorSet, Sensor, SuiteProgress, SuiteReport,
 };
 use workloads::{ImbConfig, MixId, WorkloadProfile};
 
@@ -68,6 +69,53 @@ pub fn spec_for(
         profiles.extend(ExperimentSpec::parallelize(&p.scaled(RUN_SCALE), threads));
     }
     ExperimentSpec::new(format!("{label}/{threads}t"), platform.clone(), profiles)
+}
+
+/// Progress hook for interactive binaries: one line per finished job
+/// on stderr, keeping stdout clean for the tables.
+pub fn stderr_progress(p: &SuiteProgress) {
+    eprintln!(
+        "  [{}/{}] {} {:?} ({:.2} s)",
+        p.completed, p.total, p.experiment, p.policy, p.wall_s
+    );
+}
+
+/// Queues the full workload × threads × policies grid onto a fresh
+/// [`ExperimentSuite`] and runs it. Jobs are pushed grouped by
+/// `(label, threads)` key — one chunk of `policies.len()` jobs per key,
+/// policies in the given order — and the keys are returned alongside
+/// the report so callers can zip `report.jobs.chunks(policies.len())`
+/// back to their workloads.
+pub fn run_policy_grid(
+    platform: &Platform,
+    bundles: &[(String, Vec<WorkloadProfile>)],
+    threads: &[usize],
+    policies: &[Policy],
+) -> (SuiteReport, Vec<(String, usize)>) {
+    let mut suite = ExperimentSuite::new().on_progress(stderr_progress);
+    let mut keys = Vec::new();
+    for (label, bundle) in bundles {
+        for &t in threads {
+            keys.push((label.clone(), t));
+            let spec = spec_for(label, platform, bundle, t);
+            for &p in policies {
+                suite.push(spec.clone(), p);
+            }
+        }
+    }
+    (suite.run(), keys)
+}
+
+/// Prints the suite's wall-clock and throughput footer.
+pub fn print_suite_summary(report: &SuiteReport) {
+    println!(
+        "suite: {} jobs on {} workers in {:.2} s ({:.2} jobs/s, {:.1}x vs serial)",
+        report.jobs.len(),
+        report.workers,
+        report.wall_s,
+        report.throughput_jobs_per_s(),
+        report.speedup()
+    );
 }
 
 /// One row of a comparison table.
@@ -190,7 +238,10 @@ impl LoadBalancer for InstrumentedSmart {
         let params = AnnealParams::scaled_for(platform.num_cores(), senses.len());
         let objective = Objective::new(&matrices, Goal::EnergyEfficiency);
         let outcome = anneal(&objective, &initial, params, self.seed);
-        self.seed = self.seed.wrapping_mul(0x0001_9660_D).wrapping_add(0x3C6E_F35F);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x0019_660D)
+            .wrapping_add(0x3C6E_F35F);
         t.optimize_s = t2.elapsed().as_secs_f64();
 
         let mut alloc = kernelsim::Allocation::new();
@@ -214,7 +265,11 @@ impl LoadBalancer for InstrumentedSmart {
 
 /// Runs a workload on `platform` long enough to collect `epochs` epochs
 /// of instrumented timings.
-pub fn collect_phase_timings(platform: &Platform, threads: usize, epochs: u64) -> Vec<PhaseTimings> {
+pub fn collect_phase_timings(
+    platform: &Platform,
+    threads: usize,
+    epochs: u64,
+) -> Vec<PhaseTimings> {
     let mut sys = System::new(platform.clone(), SystemConfig::default());
     let mut gen = workloads::SyntheticGenerator::new(42);
     for i in 0..threads {
@@ -247,6 +302,30 @@ mod tests {
         let spec = spec_for("bs", &platform, &bundle, 4);
         assert_eq!(spec.profiles.len(), 4);
         assert_eq!(spec.name, "bs/4t");
+    }
+
+    #[test]
+    fn policy_grid_chunks_align_with_keys() {
+        let platform = Platform::quad_heterogeneous();
+        let tiny = WorkloadProfile::uniform(
+            "tiny",
+            archsim::WorkloadCharacteristics::balanced(),
+            2_000_000,
+        );
+        let bundles = vec![
+            ("a".to_owned(), vec![tiny.clone()]),
+            ("b".to_owned(), vec![tiny]),
+        ];
+        let policies = [Policy::None, Policy::Vanilla];
+        let (report, keys) = run_policy_grid(&platform, &bundles, &[2], &policies);
+        assert_eq!(keys.len(), 2);
+        assert_eq!(report.jobs.len(), keys.len() * policies.len());
+        for ((label, threads), chunk) in keys.iter().zip(report.jobs.chunks(policies.len())) {
+            for (job, policy) in chunk.iter().zip(policies) {
+                assert_eq!(job.policy, policy);
+                assert_eq!(job.result.experiment, format!("{label}/{threads}t"));
+            }
+        }
     }
 
     #[test]

@@ -355,7 +355,15 @@ mod tests {
         let m = diagonal_matrices();
         let obj = Objective::new(&m, Goal::EnergyEfficiency);
         for seed in 0..20 {
-            let out = anneal(&obj, &[3, 2, 1, 0], AnnealParams { max_iter: 30, ..Default::default() }, seed);
+            let out = anneal(
+                &obj,
+                &[3, 2, 1, 0],
+                AnnealParams {
+                    max_iter: 30,
+                    ..Default::default()
+                },
+                seed,
+            );
             assert!(
                 out.objective >= out.initial_objective,
                 "seed {seed}: {} < {}",
@@ -398,8 +406,7 @@ mod tests {
 
     #[test]
     fn single_core_is_noop() {
-        let mut m =
-            CharacterizationMatrices::new(vec![TaskId(0)], vec![CoreTypeId(0)], vec![0.01]);
+        let mut m = CharacterizationMatrices::new(vec![TaskId(0)], vec![CoreTypeId(0)], vec![0.01]);
         m.set(0, 0, 1.0e9, 1.0, true);
         let obj = Objective::new(&m, Goal::EnergyEfficiency);
         let out = anneal(&obj, &[0], AnnealParams::default(), 3);
@@ -414,13 +421,19 @@ mod tests {
         let short = anneal(
             &obj,
             &[3, 2, 1, 0],
-            AnnealParams { max_iter: 10, ..Default::default() },
+            AnnealParams {
+                max_iter: 10,
+                ..Default::default()
+            },
             5,
         );
         let long = anneal(
             &obj,
             &[3, 2, 1, 0],
-            AnnealParams { max_iter: 2_000, ..Default::default() },
+            AnnealParams {
+                max_iter: 2_000,
+                ..Default::default()
+            },
             5,
         );
         assert!(long.objective >= short.objective);

@@ -97,10 +97,7 @@ impl LoadBalancer for GtsBalancer {
 
     fn rebalance(&mut self, platform: &Platform, report: &EpochReport) -> Option<Allocation> {
         let (big, little) = Self::clusters(platform);
-        let big_set: Vec<bool> = platform
-            .cores()
-            .map(|c| big.contains(&c))
-            .collect();
+        let big_set: Vec<bool> = platform.cores().map(|c| big.contains(&c)).collect();
 
         // Sort live tasks by descending utilization so heavy threads
         // claim big cores first (deterministic placement).

@@ -192,7 +192,11 @@ mod tests {
         let r = report(vec![task_stat(0, 4, 0.8), task_stat(1, 4, 0.1)]);
         let alloc = iks.rebalance(&platform, &r).expect("switch up");
         assert_eq!(alloc.core_of(TaskId(0)), Some(CoreId(0)));
-        assert_eq!(alloc.core_of(TaskId(1)), Some(CoreId(0)), "no per-thread choice");
+        assert_eq!(
+            alloc.core_of(TaskId(1)),
+            Some(CoreId(0)),
+            "no per-thread choice"
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ impl SmartBalance {
             sensor: Sensor::new(config.min_sample_runtime_ns)
                 .with_power_noise(config.power_noise_sigma, 0xBAD_5EED),
             predictors,
-            seed: 0x5A17_B0B5,
+            seed: config.anneal_seed.unwrap_or(0x5A17_B0B5),
             epochs_balanced: 0,
             thermal: config.thermal.map(|_| ThermalModel::new(platform)),
             config,
@@ -89,7 +89,7 @@ impl SmartBalance {
             sensor: Sensor::new(config.min_sample_runtime_ns)
                 .with_power_noise(config.power_noise_sigma, 0xBAD_5EED),
             predictors,
-            seed: 0x5A17_B0B5,
+            seed: config.anneal_seed.unwrap_or(0x5A17_B0B5),
             epochs_balanced: 0,
             thermal: None,
             config,
@@ -155,9 +155,10 @@ impl LoadBalancer for SmartBalance {
 
         // --- Balance: Algorithm 1 from the current allocation ----------
         let initial: Vec<usize> = senses.iter().map(|s| s.core.0).collect();
-        let params = self.config.anneal.unwrap_or_else(|| {
-            AnnealParams::scaled_for(platform.num_cores(), senses.len())
-        });
+        let params = self
+            .config
+            .anneal
+            .unwrap_or_else(|| AnnealParams::scaled_for(platform.num_cores(), senses.len()));
         let mut objective = Objective::new(&matrices, self.config.goal);
         if let Some(w) = &self.config.core_weights {
             objective = objective.with_weights(w.clone());
@@ -172,7 +173,10 @@ impl LoadBalancer for SmartBalance {
         let outcome = anneal(&objective, &initial, params, self.seed);
         // Advance the seed so successive epochs explore differently
         // (deterministically across runs).
-        self.seed = self.seed.wrapping_mul(0x0001_9660_D).wrapping_add(0x3C6E_F35F);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x0019_660D)
+            .wrapping_add(0x3C6E_F35F);
 
         let mut alloc = Allocation::new();
         for (sense, (&new_core, &old_core)) in senses

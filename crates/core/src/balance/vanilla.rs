@@ -60,10 +60,7 @@ impl LoadBalancer for VanillaBalancer {
         // Cores that proved unable to donate a useful task this pass.
         let mut exhausted = vec![false; n];
         for _ in 0..self.max_moves {
-            let Some(busiest) = (0..n)
-                .filter(|&j| !exhausted[j])
-                .max_by_key(|&j| load[j])
-            else {
+            let Some(busiest) = (0..n).filter(|&j| !exhausted[j]).max_by_key(|&j| load[j]) else {
                 break;
             };
             let idlest = (0..n).min_by_key(|&j| load[j]).unwrap_or(0);
@@ -89,7 +86,12 @@ impl LoadBalancer for VanillaBalancer {
                 .copied()
                 .filter(|&idx| placement[idx].1 <= imbalance / 2)
                 .max_by_key(|&idx| placement[idx].1)
-                .or_else(|| candidates.iter().copied().min_by_key(|&idx| placement[idx].1))
+                .or_else(|| {
+                    candidates
+                        .iter()
+                        .copied()
+                        .min_by_key(|&idx| placement[idx].1)
+                })
                 .filter(|&idx| placement[idx].1 < imbalance);
             let Some(idx) = pick else {
                 // This core can't donate; let the next-busiest try.
@@ -158,10 +160,9 @@ mod tests {
         let r = report((0..4).map(|i| task_stat(i, 0, 1024)).collect(), 4);
         let alloc = vb.rebalance(&platform, &r).expect("must rebalance");
         // After balancing each core should hold exactly one task.
-        let mut final_core = vec![0usize; 4];
-        for i in 0..4 {
-            final_core[i] = alloc.core_of(TaskId(i)).map_or(0, |c| c.0);
-        }
+        let mut final_core: Vec<usize> = (0..4)
+            .map(|i| alloc.core_of(TaskId(i)).map_or(0, |c| c.0))
+            .collect();
         final_core.sort_unstable();
         assert_eq!(final_core, vec![0, 1, 2, 3]);
     }

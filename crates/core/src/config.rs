@@ -84,6 +84,10 @@ pub struct SmartBalanceConfig {
     /// Thermal-aware ω derating; `None` disables temperature tracking.
     /// Mutually exclusive with `core_weights` (static weights win).
     pub thermal: Option<ThermalConfig>,
+    /// Seed for the annealer's PRNG; `None` uses the fixed default.
+    /// The experiment suite sets this per job so fan-out runs stay
+    /// independently reproducible.
+    pub anneal_seed: Option<u32>,
 }
 
 impl Default for SmartBalanceConfig {
@@ -99,6 +103,7 @@ impl Default for SmartBalanceConfig {
             power_noise_sigma: 0.0,
             sparse_sensing: false,
             thermal: None,
+            anneal_seed: None,
         }
     }
 }

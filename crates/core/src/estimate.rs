@@ -49,7 +49,13 @@ pub fn build_matrices(
         let has_measurement = sense.fresh && sense.measured_ips > 0.0;
         for (j, &dst_type) in core_types.iter().enumerate() {
             if has_measurement && dst_type == src_type {
-                m.set(i, j, sense.measured_ips, sense.measured_power_w.max(1e-6), true);
+                m.set(
+                    i,
+                    j,
+                    sense.measured_ips,
+                    sense.measured_power_w.max(1e-6),
+                    true,
+                );
             } else {
                 let ipc = predictors.predict_ipc(&sense.features, src_type, dst_type);
                 let ips = ipc * platform.type_config(dst_type).freq_hz;
@@ -130,7 +136,10 @@ mod tests {
         let w = WorkloadCharacteristics::compute_bound();
         let s = sense_for(&platform, CoreId(2), &w, true);
         let m = build_matrices(&platform, &[s], &predictors);
-        assert!(m.ips(0, 0) > 2.0 * m.ips(0, 2), "Huge >> Medium for compute");
+        assert!(
+            m.ips(0, 0) > 2.0 * m.ips(0, 2),
+            "Huge >> Medium for compute"
+        );
         assert!(m.ips(0, 3) < m.ips(0, 2), "Small < Medium");
         assert!(m.power(0, 0) > m.power(0, 3) * 10.0, "power gap is extreme");
     }

@@ -32,7 +32,9 @@ pub const ONE: i64 = 1 << FRAC_BITS;
 /// let b = Fx::from_f64(2.0);
 /// assert!((a.mul(b).to_f64() - 3.0).abs() < 1e-4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Fx(pub i64);
 
 impl Fx {
@@ -52,16 +54,19 @@ impl Fx {
     }
 
     /// Fixed-point multiply (rounds toward zero).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Fx) -> Fx {
         Fx(((self.0 as i128 * rhs.0 as i128) >> FRAC_BITS) as i64)
     }
 
     /// Saturating add.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Fx) -> Fx {
         Fx(self.0.saturating_add(rhs.0))
     }
 
     /// Saturating subtract.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Fx) -> Fx {
         Fx(self.0.saturating_sub(rhs.0))
     }
@@ -240,11 +245,7 @@ mod tests {
         let values = [-2.0, -0.5, 0.0, 0.25, 1.0, 3.5];
         for &a in &values {
             for &b in &values {
-                assert_eq!(
-                    Fx::from_f64(a) < Fx::from_f64(b),
-                    a < b,
-                    "{a} vs {b}"
-                );
+                assert_eq!(Fx::from_f64(a) < Fx::from_f64(b), a < b, "{a} vs {b}");
             }
         }
     }

@@ -26,14 +26,23 @@
 //! The crate also ships the paper's two comparison baselines — the
 //! vanilla Linux balancer ([`balance::VanillaBalancer`]) and ARM's
 //! Global Task Scheduling ([`balance::GtsBalancer`]) — plus ground-truth
-//! optimal allocators for evaluating solution quality ([`optimal`]) and
-//! an experiment [`runner`].
+//! optimal allocators for evaluating solution quality ([`optimal`]),
+//! a single-experiment [`runner`] and a parallel experiment-[`suite`]
+//! engine that fans `(spec, policy)` jobs out over a worker pool with
+//! deterministic per-job seeds.
 //!
 //! ## Quick start
 //!
+//! Build an [`ExperimentSpec`] with the fluent builders
+//! ([`with_max_epochs`](ExperimentSpec::with_max_epochs),
+//! [`with_sys_config`](ExperimentSpec::with_sys_config),
+//! [`with_policy_config`](ExperimentSpec::with_policy_config)), queue
+//! it on an [`ExperimentSuite`] under each policy of interest, and
+//! read baseline-relative gains off the [`SuiteReport`]:
+//!
 //! ```
 //! use archsim::Platform;
-//! use smartbalance::{compare_policies, ExperimentSpec, Policy};
+//! use smartbalance::{ExperimentSpec, ExperimentSuite, Policy};
 //! use workloads::parsec;
 //!
 //! // Paper Fig. 4(b)-style measurement, one benchmark, 2 threads:
@@ -41,11 +50,21 @@
 //!     "quickstart",
 //!     Platform::quad_heterogeneous(),
 //!     ExperimentSpec::parallelize(&parsec::blackscholes().scaled(0.02), 2),
-//! );
-//! let results = compare_policies(&spec, &[Policy::Vanilla, Policy::Smart]);
-//! let gain = results[1].efficiency_vs(&results[0]);
+//! )
+//! .with_max_epochs(2_000);
+//!
+//! let mut suite = ExperimentSuite::new();
+//! for policy in [Policy::Vanilla, Policy::Smart] {
+//!     suite.push(spec.clone(), policy);
+//! }
+//! let report = suite.run(); // both jobs run in parallel
+//! let gain = report.gains_vs(Policy::Vanilla)[0].gain;
 //! println!("SmartBalance/vanilla energy efficiency: {gain:.2}x");
 //! ```
+//!
+//! Results are bit-identical however many workers run them: every job
+//! gets a seed derived from its queue index (`tests/suite.rs` pins
+//! this down).
 
 pub mod anneal;
 pub mod balance;
@@ -58,6 +77,7 @@ pub mod optimal;
 pub mod predict;
 pub mod runner;
 pub mod sense;
+pub mod suite;
 
 pub use anneal::{anneal, AnnealOutcome, AnnealParams};
 pub use balance::{GtsBalancer, IksBalancer, SmartBalance, VanillaBalancer};
@@ -67,5 +87,12 @@ pub use matrices::CharacterizationMatrices;
 pub use objective::{Goal, Objective};
 pub use optimal::{exhaustive_best, known_optimum_case, KnownCase};
 pub use predict::{PowerCoeffs, PredictorSet};
-pub use runner::{compare_policies, run_experiment, ExperimentSpec, Policy, RunResult};
+pub use runner::{
+    compare_policies, run_experiment, run_experiment_traced, ExperimentSpec, Policy, RunResult,
+    TraceCapture, TraceRequest,
+};
 pub use sense::{Sensor, ThreadSense, FEATURE_NAMES, NUM_FEATURES};
+pub use suite::{
+    parallel_indexed, EfficiencyGain, ExperimentSuite, JobResult, SuiteJob, SuiteProgress,
+    SuiteReport,
+};

@@ -55,11 +55,7 @@ impl CharacterizationMatrices {
     ///
     /// Panics if `core_types` or `sleep_power_w` is empty or their
     /// lengths differ.
-    pub fn new(
-        tasks: Vec<TaskId>,
-        core_types: Vec<CoreTypeId>,
-        sleep_power_w: Vec<f64>,
-    ) -> Self {
+    pub fn new(tasks: Vec<TaskId>, core_types: Vec<CoreTypeId>, sleep_power_w: Vec<f64>) -> Self {
         assert!(!core_types.is_empty(), "need at least one core");
         assert_eq!(
             core_types.len(),
@@ -174,7 +170,11 @@ impl CharacterizationMatrices {
     /// Panics if the mask allows none of this instance's cores.
     pub fn set_allowed(&mut self, i: usize, mask: u64) {
         let n = self.num_cores();
-        let usable = if n >= 64 { mask } else { mask & ((1u64 << n) - 1) };
+        let usable = if n >= 64 {
+            mask
+        } else {
+            mask & ((1u64 << n) - 1)
+        };
         assert!(usable != 0, "affinity mask allows no core of this platform");
         self.allowed[i] = mask;
     }

@@ -372,7 +372,10 @@ mod tests {
         // No dump-site pathology: parking t1 on the big core (terrible
         // ratio, real watts) must score worse than keeping it cheap.
         let dumped = obj.evaluate(&[1, 0]);
-        assert!(dumped < packed, "dump-site must not win: {dumped} vs {packed}");
+        assert!(
+            dumped < packed,
+            "dump-site must not win: {dumped} vs {packed}"
+        );
     }
 
     #[test]
@@ -398,8 +401,7 @@ mod tests {
     #[test]
     fn weights_scale_core_terms() {
         let m = simple();
-        let obj =
-            Objective::new(&m, Goal::PerCoreEfficiencySum).with_weights(vec![2.0, 0.0]);
+        let obj = Objective::new(&m, Goal::PerCoreEfficiencySum).with_weights(vec![2.0, 0.0]);
         let v = obj.evaluate(&[0, 1]);
         // Core 0 term doubled (2 GIPS/W), core 1 zeroed.
         assert!((v - 2.0).abs() < 1e-9, "{v}");

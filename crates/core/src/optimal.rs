@@ -186,7 +186,15 @@ mod tests {
         let case = known_optimum_case(4, 2, 7);
         let obj = Objective::new(&case.matrices, Goal::EnergyEfficiency);
         let initial = vec![0; 8];
-        let out = anneal(&obj, &initial, AnnealParams { max_iter: 3_000, ..Default::default() }, 13);
+        let out = anneal(
+            &obj,
+            &initial,
+            AnnealParams {
+                max_iter: 3_000,
+                ..Default::default()
+            },
+            13,
+        );
         let distance = 1.0 - out.objective / case.optimal_value;
         assert!(
             distance < 0.02,

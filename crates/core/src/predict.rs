@@ -44,8 +44,16 @@ pub const NUM_COEFFS: usize = 10;
 
 /// Names of the Θ coefficients, in order.
 pub const COEFF_NAMES: [&str; NUM_COEFFS] = [
-    "cpi_mech", "ipc_src", "cpi_src", "I_msh", "I_bsh", "mr_$d@dst", "mr_b@dst", "mlp_est",
-    "FR", "const",
+    "cpi_mech",
+    "ipc_src",
+    "cpi_src",
+    "I_msh",
+    "I_bsh",
+    "mr_$d@dst",
+    "mr_b@dst",
+    "mlp_est",
+    "FR",
+    "const",
 ];
 
 /// Degrades a feature vector to the *sparse sensing* counter set
@@ -193,8 +201,7 @@ impl PredictorSet {
         );
         let q = platform.num_types();
         let corpus = SyntheticGenerator::new(seed).corpus(corpus_size);
-        let type_configs: Vec<CoreConfig> =
-            platform.types().map(|(_, cfg)| cfg.clone()).collect();
+        let type_configs: Vec<CoreConfig> = platform.types().map(|(_, cfg)| cfg.clone()).collect();
 
         // Per source type: the raw signature of every corpus workload.
         let mut signatures: Vec<Vec<Features>> = Vec::with_capacity(q);
@@ -331,6 +338,7 @@ fn least_squares(xs: &[[f64; NUM_COEFFS]], ys: &[f64]) -> [f64; NUM_COEFFS] {
             }
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for r in 0..d {
         for c in 0..r {
             ata[r][c] = ata[c][r];
@@ -343,6 +351,7 @@ fn least_squares(xs: &[[f64; NUM_COEFFS]], ys: &[f64]) -> [f64; NUM_COEFFS] {
 
 /// In-place Gaussian elimination with partial pivoting; the solution
 /// lands in `b`.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear(a: &mut [[f64; NUM_COEFFS]; NUM_COEFFS], b: &mut [f64; NUM_COEFFS]) {
     let n = NUM_COEFFS;
     for col in 0..n {
@@ -457,7 +466,10 @@ mod tests {
             let feats = features_from_counters(&slice.counters, src.freq_hz);
             let got = infer_workload(&feats, src);
             let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
-            assert!(rel(got.mem_share, w.mem_share) < 0.05, "msh {got:?} vs {w:?}");
+            assert!(
+                rel(got.mem_share, w.mem_share) < 0.05,
+                "msh {got:?} vs {w:?}"
+            );
             assert!(
                 rel(got.data_working_set_kib, w.data_working_set_kib) < 0.25,
                 "ws {} vs {}",
@@ -518,8 +530,7 @@ mod tests {
         let (platform, pred) = trained();
         let corpus = SyntheticGenerator::new(99).corpus(60);
         for t in 0..4 {
-            let (e_ipc, _) =
-                evaluate_pair(&pred, &platform, &corpus, CoreTypeId(t), CoreTypeId(t));
+            let (e_ipc, _) = evaluate_pair(&pred, &platform, &corpus, CoreTypeId(t), CoreTypeId(t));
             assert!(e_ipc < 0.02, "{t}->{t}: ipc err {e_ipc}");
         }
     }
@@ -601,8 +612,7 @@ mod tests {
         assert!(!full.is_sparse());
         assert!(sparse.is_sparse());
         let corpus = SyntheticGenerator::new(21).corpus(80);
-        let (e_full, _) =
-            evaluate_pair(&full, &platform, &corpus, CoreTypeId(1), CoreTypeId(3));
+        let (e_full, _) = evaluate_pair(&full, &platform, &corpus, CoreTypeId(1), CoreTypeId(3));
         let (e_sparse, _) =
             evaluate_pair(&sparse, &platform, &corpus, CoreTypeId(1), CoreTypeId(3));
         assert!(

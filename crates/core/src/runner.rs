@@ -4,7 +4,7 @@
 //! around it.
 
 use archsim::Platform;
-use kernelsim::{LoadBalancer, NullBalancer, System, SystemConfig, SystemStats};
+use kernelsim::{LoadBalancer, NullBalancer, System, SystemConfig, SystemStats, TraceLevel};
 use serde::{Deserialize, Serialize};
 use workloads::WorkloadProfile;
 
@@ -27,23 +27,23 @@ pub enum Policy {
 }
 
 impl Policy {
-    /// Instantiates the policy for `platform`.
-    pub fn build(self, platform: &Platform) -> Box<dyn LoadBalancer> {
+    /// Instantiates the policy for `platform`. A configuration only
+    /// affects [`Policy::Smart`]; `None` (or any config handed to a
+    /// baseline policy) selects the defaults.
+    pub fn build(
+        &self,
+        platform: &Platform,
+        cfg: Option<&SmartBalanceConfig>,
+    ) -> Box<dyn LoadBalancer> {
         match self {
             Policy::None => Box::new(NullBalancer),
             Policy::Vanilla => Box::new(VanillaBalancer::new()),
             Policy::Gts => Box::new(GtsBalancer::new()),
             Policy::Iks => Box::new(IksBalancer::new()),
-            Policy::Smart => Box::new(SmartBalance::new(platform)),
-        }
-    }
-
-    /// Instantiates SmartBalance with a custom config (other policies
-    /// ignore the config).
-    pub fn build_with(self, platform: &Platform, cfg: SmartBalanceConfig) -> Box<dyn LoadBalancer> {
-        match self {
-            Policy::Smart => Box::new(SmartBalance::with_config(platform, cfg)),
-            other => other.build(platform),
+            Policy::Smart => match cfg {
+                Some(cfg) => Box::new(SmartBalance::with_config(platform, cfg.clone())),
+                None => Box::new(SmartBalance::new(platform)),
+            },
         }
     }
 }
@@ -61,6 +61,10 @@ pub struct ExperimentSpec {
     pub sys_config: SystemConfig,
     /// Hard stop after this many epochs even if tasks are still live.
     pub max_epochs: u64,
+    /// SmartBalance configuration used when this spec runs under
+    /// [`Policy::Smart`]; `None` = defaults. Baseline policies ignore
+    /// it.
+    pub policy_config: Option<SmartBalanceConfig>,
 }
 
 impl ExperimentSpec {
@@ -77,20 +81,40 @@ impl ExperimentSpec {
             profiles,
             sys_config: SystemConfig::default(),
             max_epochs: 2_000,
+            policy_config: None,
         }
     }
 
-    /// Splits `profile` into `threads` parallel worker tasks, each
-    /// handling `1/threads` of the work — the paper's "different levels
-    /// of parallelization (2, 4, 8 threads)".
+    /// Overrides the epoch safety limit.
+    pub fn with_max_epochs(mut self, max_epochs: u64) -> Self {
+        self.max_epochs = max_epochs;
+        self
+    }
+
+    /// Overrides the kernel-simulator timing configuration.
+    pub fn with_sys_config(mut self, sys_config: SystemConfig) -> Self {
+        self.sys_config = sys_config;
+        self
+    }
+
+    /// Sets the SmartBalance configuration used when this spec runs
+    /// under [`Policy::Smart`].
+    pub fn with_policy_config(mut self, config: SmartBalanceConfig) -> Self {
+        self.policy_config = Some(config);
+        self
+    }
+
+    /// Splits `profile` into `threads` parallel worker tasks — the
+    /// paper's "different levels of parallelization (2, 4, 8 threads)".
+    /// The first `threads - 1` workers each take `1/threads` of every
+    /// phase; the last worker takes whatever remains, so no
+    /// instructions are dropped when the split is uneven.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn parallelize(profile: &WorkloadProfile, threads: usize) -> Vec<WorkloadProfile> {
-        assert!(threads > 0, "need at least one thread");
-        let share = profile.scaled(1.0 / threads as f64);
-        (0..threads).map(|_| share.clone()).collect()
+        profile.split_among(threads)
     }
 }
 
@@ -127,31 +151,69 @@ impl RunResult {
     }
 }
 
+/// A request to record scheduler events while an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Event verbosity.
+    pub level: TraceLevel,
+    /// Ring-buffer capacity in events.
+    pub capacity: usize,
+}
+
+/// The scheduler event trace captured during a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCapture {
+    /// The events rendered as CSV (one row per event).
+    pub csv: String,
+    /// Number of events retained.
+    pub events: usize,
+    /// Number of events dropped once the ring buffer filled.
+    pub dropped: u64,
+}
+
 /// Runs `spec` under the given balancer until all tasks complete (or
 /// the epoch limit hits) and returns the measurements.
 pub fn run_experiment(spec: &ExperimentSpec, balancer: &mut dyn LoadBalancer) -> RunResult {
+    run_experiment_traced(spec, balancer, None).0
+}
+
+/// [`run_experiment`] with optional scheduler-event tracing.
+pub fn run_experiment_traced(
+    spec: &ExperimentSpec,
+    balancer: &mut dyn LoadBalancer,
+    trace: Option<TraceRequest>,
+) -> (RunResult, Option<TraceCapture>) {
     let mut sys = System::new(spec.platform.clone(), spec.sys_config);
+    if let Some(req) = trace {
+        sys.enable_tracing(req.level, req.capacity);
+    }
     for profile in &spec.profiles {
         sys.spawn(profile.clone());
     }
     let epochs = sys.run_to_completion(balancer, spec.max_epochs);
     let stats = sys.stats();
-    RunResult {
+    let capture = trace.map(|_| TraceCapture {
+        csv: sys.tracer().to_csv(),
+        events: sys.tracer().events().len(),
+        dropped: sys.tracer().dropped(),
+    });
+    let result = RunResult {
         experiment: spec.name.clone(),
         policy: balancer.name().to_owned(),
         epochs,
         completed: stats.live_tasks == 0,
         stats,
-    }
+    };
+    (result, capture)
 }
 
 /// Runs `spec` under each policy and returns the results in the same
-/// order.
+/// order. SmartBalance honours the spec's `policy_config`.
 pub fn compare_policies(spec: &ExperimentSpec, policies: &[Policy]) -> Vec<RunResult> {
     policies
         .iter()
-        .map(|&p| {
-            let mut balancer = p.build(&spec.platform);
+        .map(|p| {
+            let mut balancer = p.build(&spec.platform, spec.policy_config.as_ref());
             run_experiment(spec, balancer.as_mut())
         })
         .collect()
@@ -173,7 +235,7 @@ mod tests {
     #[test]
     fn run_completes_and_reports() {
         let spec = small_spec();
-        let mut b = Policy::Vanilla.build(&spec.platform);
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
         let r = run_experiment(&spec, b.as_mut());
         assert!(r.completed);
         assert_eq!(r.policy, "vanilla");
@@ -182,37 +244,39 @@ mod tests {
     }
 
     #[test]
-    fn parallelize_splits_work() {
-        let p = WorkloadProfile::uniform("x", WorkloadCharacteristics::balanced(), 1_000_000);
-        let parts = ExperimentSpec::parallelize(&p, 4);
-        assert_eq!(parts.len(), 4);
-        let total: u64 = parts.iter().map(|q| q.total_instructions()).sum();
-        assert!((total as i64 - 1_000_000).abs() < 8);
+    fn parallelize_splits_work_exactly() {
+        // Evenly divisible and remainder cases both conserve the
+        // instruction total exactly — no work is dropped.
+        for (instructions, threads) in [(1_000_000u64, 4usize), (1_000_003, 4), (999_999, 8)] {
+            let p =
+                WorkloadProfile::uniform("x", WorkloadCharacteristics::balanced(), instructions);
+            let parts = ExperimentSpec::parallelize(&p, threads);
+            assert_eq!(parts.len(), threads);
+            let total: u64 = parts.iter().map(|q| q.total_instructions()).sum();
+            assert_eq!(total, instructions, "{instructions} over {threads} threads");
+        }
     }
 
     #[test]
     fn policy_builders_report_names() {
         let quad = Platform::quad_heterogeneous();
         let bl = Platform::octa_big_little();
-        assert_eq!(Policy::None.build(&quad).name(), "none");
-        assert_eq!(Policy::Vanilla.build(&quad).name(), "vanilla");
-        assert_eq!(Policy::Gts.build(&bl).name(), "gts");
-        assert_eq!(Policy::Iks.build(&bl).name(), "iks");
-        assert_eq!(Policy::Smart.build(&quad).name(), "smartbalance");
+        assert_eq!(Policy::None.build(&quad, None).name(), "none");
+        assert_eq!(Policy::Vanilla.build(&quad, None).name(), "vanilla");
+        assert_eq!(Policy::Gts.build(&bl, None).name(), "gts");
+        assert_eq!(Policy::Iks.build(&bl, None).name(), "iks");
+        assert_eq!(Policy::Smart.build(&quad, None).name(), "smartbalance");
     }
 
     #[test]
     fn edp_goal_runs_end_to_end() {
         use crate::config::SmartBalanceConfig;
         use crate::objective::Goal;
-        let spec = small_spec();
-        let mut policy = Policy::Smart.build_with(
-            &spec.platform,
-            SmartBalanceConfig {
-                goal: Goal::EnergyDelayProduct,
-                ..SmartBalanceConfig::default()
-            },
-        );
+        let spec = small_spec().with_policy_config(SmartBalanceConfig {
+            goal: Goal::EnergyDelayProduct,
+            ..SmartBalanceConfig::default()
+        });
+        let mut policy = Policy::Smart.build(&spec.platform, spec.policy_config.as_ref());
         let r = run_experiment(&spec, policy.as_mut());
         assert!(r.completed);
         assert!(r.energy_efficiency() > 0.0);

@@ -145,8 +145,7 @@ impl Sensor {
         if self.power_noise_sigma == 0.0 {
             return truth;
         }
-        let normal: f64 =
-            ((0..4).map(|_| self.uniform()).sum::<f64>() - 2.0) * 3f64.sqrt();
+        let normal: f64 = ((0..4).map(|_| self.uniform()).sum::<f64>() - 2.0) * 3f64.sqrt();
         (truth * (1.0 + self.power_noise_sigma * normal)).max(0.0)
     }
 
@@ -294,7 +293,10 @@ mod tests {
     fn fresh_sample_extracts_features() {
         let platform = Platform::quad_heterogeneous();
         let mut sensor = Sensor::new(100_000);
-        let senses = sensor.sense(&platform, &report_with(vec![running_task(0, 0, 30_000_000)]));
+        let senses = sensor.sense(
+            &platform,
+            &report_with(vec![running_task(0, 0, 30_000_000)]),
+        );
         assert_eq!(senses.len(), 1);
         let s = &senses[0];
         assert!(s.fresh);
@@ -310,7 +312,10 @@ mod tests {
     fn short_run_replays_cache() {
         let platform = Platform::quad_heterogeneous();
         let mut sensor = Sensor::new(100_000);
-        sensor.sense(&platform, &report_with(vec![running_task(0, 0, 30_000_000)]));
+        sensor.sense(
+            &platform,
+            &report_with(vec![running_task(0, 0, 30_000_000)]),
+        );
         // Next epoch: the thread barely ran and moved to core 2.
         let mut t = running_task(0, 2, 10_000);
         t.utilization = 0.0;
@@ -369,7 +374,10 @@ mod tests {
     fn dead_threads_are_dropped() {
         let platform = Platform::quad_heterogeneous();
         let mut sensor = Sensor::new(100_000);
-        sensor.sense(&platform, &report_with(vec![running_task(0, 0, 30_000_000)]));
+        sensor.sense(
+            &platform,
+            &report_with(vec![running_task(0, 0, 30_000_000)]),
+        );
         assert_eq!(sensor.cached_threads(), 1);
         let mut t = running_task(0, 0, 5_000_000);
         t.alive = false;

@@ -1,0 +1,518 @@
+//! Parallel experiment-suite engine: the harness behind every figure
+//! and table of the evaluation.
+//!
+//! A suite is an ordered list of [`SuiteJob`]s — one `(spec, policy)`
+//! pair each — fanned out across a fixed pool of worker threads. The
+//! simulator is fully deterministic, so the only state a job needs to
+//! be reproducible is its seed; the suite derives one from the job's
+//! index (splitmix64), which makes results independent of worker
+//! count, scheduling order and re-runs:
+//!
+//! ```
+//! use archsim::{Platform, WorkloadCharacteristics};
+//! use smartbalance::{ExperimentSpec, ExperimentSuite, Policy};
+//! use workloads::WorkloadProfile;
+//!
+//! let spec = ExperimentSpec::new(
+//!     "demo",
+//!     Platform::quad_heterogeneous(),
+//!     vec![WorkloadProfile::uniform(
+//!         "t0",
+//!         WorkloadCharacteristics::balanced(),
+//!         20_000_000,
+//!     )],
+//! );
+//! let mut suite = ExperimentSuite::new();
+//! suite.push(spec.clone(), Policy::Vanilla);
+//! suite.push(spec, Policy::Smart);
+//! let report = suite.run();
+//! assert_eq!(report.jobs.len(), 2);
+//! let gains = report.gains_vs(Policy::Vanilla);
+//! assert_eq!(gains.len(), 1, "one non-baseline job");
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use kernelsim::LoadBalancer;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SmartBalanceConfig;
+use crate::runner::{
+    run_experiment_traced, ExperimentSpec, Policy, RunResult, TraceCapture, TraceRequest,
+};
+
+/// splitmix64: the standard 64-bit seed expander; maps a job index to
+/// an independent, well-mixed seed.
+fn splitmix64(index: u64) -> u64 {
+    let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One unit of suite work: a spec run under a policy, with the seed
+/// the suite derived from the job's index.
+#[derive(Debug, Clone)]
+pub struct SuiteJob {
+    /// The experiment to run.
+    pub spec: ExperimentSpec,
+    /// The balancing policy to run it under.
+    pub policy: Policy,
+    /// Deterministic seed (splitmix64 of the job index). Feeds the
+    /// annealer unless the spec's policy config pins its own seed.
+    pub seed: u64,
+    /// Optional scheduler-event trace to capture during the run.
+    pub trace: Option<TraceRequest>,
+}
+
+impl SuiteJob {
+    /// Requests a scheduler-event trace for this job (builder style).
+    pub fn with_trace(mut self, trace: TraceRequest) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The SmartBalance configuration this job actually runs with: the
+    /// spec's `policy_config` (or defaults) with the job seed filled
+    /// into `anneal_seed` when the config doesn't pin one.
+    pub fn effective_config(&self) -> SmartBalanceConfig {
+        let mut cfg = self.spec.policy_config.clone().unwrap_or_default();
+        if cfg.anneal_seed.is_none() {
+            cfg.anneal_seed = Some(self.seed as u32);
+        }
+        cfg
+    }
+
+    /// Builds this job's balancer exactly as the suite will — the
+    /// canonical constructor for serial reruns and parity checks.
+    pub fn build_balancer(&self) -> Box<dyn LoadBalancer> {
+        self.policy
+            .build(&self.spec.platform, Some(&self.effective_config()))
+    }
+
+    /// Runs the job to completion (what a suite worker executes).
+    fn execute(&self, index: usize) -> JobResult {
+        let start = Instant::now();
+        let mut balancer = self.build_balancer();
+        let (result, trace) = run_experiment_traced(&self.spec, balancer.as_mut(), self.trace);
+        JobResult {
+            job_index: index,
+            seed: self.seed,
+            policy: self.policy,
+            result,
+            trace,
+            wall_s: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The outcome of one suite job, in job order inside [`SuiteReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Index of the job in the suite (also the seed's source).
+    pub job_index: usize,
+    /// The seed the job ran with.
+    pub seed: u64,
+    /// The policy the job ran under.
+    pub policy: Policy,
+    /// The experiment measurements.
+    pub result: RunResult,
+    /// Captured scheduler trace, if the job requested one.
+    pub trace: Option<TraceCapture>,
+    /// Wall-clock duration of this job alone, seconds.
+    pub wall_s: f64,
+}
+
+/// A progress tick, delivered to the suite's callback as each job
+/// finishes (from the worker thread that ran it).
+#[derive(Debug, Clone)]
+pub struct SuiteProgress {
+    /// Jobs finished so far, including this one.
+    pub completed: usize,
+    /// Total jobs in the suite.
+    pub total: usize,
+    /// Which job just finished.
+    pub job_index: usize,
+    /// Its experiment label.
+    pub experiment: String,
+    /// Its policy.
+    pub policy: Policy,
+    /// Its wall-clock duration, seconds.
+    pub wall_s: f64,
+}
+
+/// A baseline-relative efficiency summary row (the y-axis of the
+/// paper's Fig. 4/5 bar charts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EfficiencyGain {
+    /// Experiment label shared by the compared runs.
+    pub experiment: String,
+    /// The policy being compared against the baseline.
+    pub policy: Policy,
+    /// Its absolute energy efficiency, instructions/J.
+    pub efficiency: f64,
+    /// Ratio of its efficiency to the baseline's (>1 = better).
+    pub gain: f64,
+}
+
+/// Everything a suite run produced, serializable for `--json` dumps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Per-job results, in job (push) order.
+    pub jobs: Vec<JobResult>,
+    /// Worker threads the pool actually used.
+    pub workers: usize,
+    /// Wall-clock duration of the whole suite, seconds.
+    pub wall_s: f64,
+    /// Sum of per-job wall-clock durations — what a serial run of the
+    /// same jobs would have cost.
+    pub serial_wall_s: f64,
+}
+
+impl SuiteReport {
+    /// Parallel speedup: serial cost over actual wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            1.0
+        } else {
+            self.serial_wall_s / self.wall_s
+        }
+    }
+
+    /// Jobs completed per wall-clock second.
+    pub fn throughput_jobs_per_s(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / self.wall_s
+        }
+    }
+
+    /// The result of the `baseline` run of `experiment`, if present.
+    pub fn baseline_for(&self, experiment: &str, baseline: Policy) -> Option<&RunResult> {
+        self.jobs
+            .iter()
+            .find(|j| j.policy == baseline && j.result.experiment == experiment)
+            .map(|j| &j.result)
+    }
+
+    /// Baseline-relative efficiency of every non-baseline job whose
+    /// experiment also ran under `baseline`, in job order — the
+    /// suite-level generalization of [`RunResult::efficiency_vs`].
+    pub fn gains_vs(&self, baseline: Policy) -> Vec<EfficiencyGain> {
+        self.jobs
+            .iter()
+            .filter(|j| j.policy != baseline)
+            .filter_map(|j| {
+                let base = self.baseline_for(&j.result.experiment, baseline)?;
+                Some(EfficiencyGain {
+                    experiment: j.result.experiment.clone(),
+                    policy: j.policy,
+                    efficiency: j.result.energy_efficiency(),
+                    gain: j.result.efficiency_vs(base),
+                })
+            })
+            .collect()
+    }
+
+    /// Geometric-mean gain of `policy` over `baseline` across every
+    /// experiment both ran (the "average improvement" headline).
+    pub fn mean_gain_vs(&self, baseline: Policy, policy: Policy) -> Option<f64> {
+        let gains: Vec<f64> = self
+            .gains_vs(baseline)
+            .into_iter()
+            .filter(|g| g.policy == policy && g.gain > 0.0)
+            .map(|g| g.gain)
+            .collect();
+        if gains.is_empty() {
+            return None;
+        }
+        let log_sum: f64 = gains.iter().map(|g| g.ln()).sum();
+        Some((log_sum / gains.len() as f64).exp())
+    }
+}
+
+/// Callback invoked as jobs finish; runs on worker threads.
+type ProgressHook = Box<dyn Fn(&SuiteProgress) + Send + Sync>;
+
+/// The suite engine: collects jobs, then fans them out over a worker
+/// pool. See the module docs for an end-to-end example.
+pub struct ExperimentSuite {
+    jobs: Vec<SuiteJob>,
+    workers: usize,
+    progress: Option<ProgressHook>,
+}
+
+impl Default for ExperimentSuite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentSuite {
+    /// An empty suite sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        ExperimentSuite {
+            jobs: Vec::new(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            progress: None,
+        }
+    }
+
+    /// Overrides the worker-pool size (builder style). Clamped to at
+    /// least one; results never depend on it.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Installs a progress callback, invoked once per finished job
+    /// from the worker that ran it (builder style).
+    pub fn on_progress(mut self, hook: impl Fn(&SuiteProgress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Box::new(hook));
+        self
+    }
+
+    /// Queues `spec` to run under `policy` and returns the job's
+    /// index. The job's seed is derived from that index.
+    pub fn push(&mut self, spec: ExperimentSpec, policy: Policy) -> usize {
+        self.push_job(spec, policy, None)
+    }
+
+    /// [`push`](Self::push) with a scheduler-trace request attached.
+    pub fn push_traced(
+        &mut self,
+        spec: ExperimentSpec,
+        policy: Policy,
+        trace: TraceRequest,
+    ) -> usize {
+        self.push_job(spec, policy, Some(trace))
+    }
+
+    fn push_job(
+        &mut self,
+        spec: ExperimentSpec,
+        policy: Policy,
+        trace: Option<TraceRequest>,
+    ) -> usize {
+        let index = self.jobs.len();
+        self.jobs.push(SuiteJob {
+            spec,
+            policy,
+            seed: splitmix64(index as u64),
+            trace,
+        });
+        index
+    }
+
+    /// The queued jobs, in push order.
+    pub fn jobs(&self) -> &[SuiteJob] {
+        &self.jobs
+    }
+
+    /// Runs every queued job across the worker pool and collects the
+    /// results in job order. Jobs are handed out through a shared
+    /// counter, so workers stay busy regardless of per-job cost; the
+    /// per-job seeds make the outcome identical for any pool size.
+    pub fn run(&self) -> SuiteReport {
+        let start = Instant::now();
+        let total = self.jobs.len();
+        let workers = self.workers.min(total).max(1);
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..total).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let outcome = self.jobs[index].execute(index);
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(hook) = &self.progress {
+                        hook(&SuiteProgress {
+                            completed,
+                            total,
+                            job_index: index,
+                            experiment: outcome.result.experiment.clone(),
+                            policy: outcome.policy,
+                            wall_s: outcome.wall_s,
+                        });
+                    }
+                    slots.lock().expect("suite results poisoned")[index] = Some(outcome);
+                });
+            }
+        });
+
+        let jobs: Vec<JobResult> = slots
+            .into_inner()
+            .expect("suite results poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every job index was executed"))
+            .collect();
+        let serial_wall_s = jobs.iter().map(|j| j.wall_s).sum();
+        SuiteReport {
+            jobs,
+            workers,
+            wall_s: start.elapsed().as_secs_f64(),
+            serial_wall_s,
+        }
+    }
+}
+
+/// Fans `count` independent index-parameterized computations out over
+/// `workers` threads and returns the results in index order — the
+/// suite's work-distribution core, reusable for non-experiment sweeps
+/// (predictor-error grids, annealer-quality scans, ...).
+pub fn parallel_indexed<T, F>(count: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(count).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let value = f(index);
+                slots.lock().expect("parallel results poisoned")[index] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("parallel results poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index was executed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::{Platform, WorkloadCharacteristics};
+    use workloads::WorkloadProfile;
+
+    fn tiny_spec(name: &str) -> ExperimentSpec {
+        ExperimentSpec::new(
+            name,
+            Platform::quad_heterogeneous(),
+            vec![WorkloadProfile::uniform(
+                "t0",
+                WorkloadCharacteristics::balanced(),
+                5_000_000,
+            )],
+        )
+    }
+
+    #[test]
+    fn seeds_depend_on_index_not_contents() {
+        let mut suite = ExperimentSuite::new();
+        let a = suite.push(tiny_spec("a"), Policy::Vanilla);
+        let b = suite.push(tiny_spec("a"), Policy::Vanilla);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        let seeds: Vec<u64> = suite.jobs().iter().map(|j| j.seed).collect();
+        assert_ne!(seeds[0], seeds[1], "identical jobs get distinct seeds");
+        assert_eq!(seeds[0], splitmix64(0));
+        assert_eq!(seeds[1], splitmix64(1));
+    }
+
+    #[test]
+    fn report_collects_in_job_order() {
+        let mut suite = ExperimentSuite::new().with_workers(3);
+        for i in 0..5 {
+            suite.push(tiny_spec(&format!("e{i}")), Policy::Vanilla);
+        }
+        let report = suite.run();
+        assert_eq!(report.jobs.len(), 5);
+        assert_eq!(report.workers, 3);
+        for (i, job) in report.jobs.iter().enumerate() {
+            assert_eq!(job.job_index, i);
+            assert_eq!(job.result.experiment, format!("e{i}"));
+            assert!(job.wall_s >= 0.0);
+        }
+        // serial_wall_s is defined as the sum of per-job durations
+        // (wall-clock relations are asserted in tests/suite.rs, where
+        // the jobs are big enough to dominate pool overhead).
+        let sum: f64 = report.jobs.iter().map(|j| j.wall_s).sum();
+        assert!((report.serial_wall_s - sum).abs() < 1e-12);
+        assert!(report.throughput_jobs_per_s() > 0.0);
+    }
+
+    #[test]
+    fn progress_reports_every_job() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&ticks);
+        let mut suite = ExperimentSuite::new()
+            .with_workers(2)
+            .on_progress(move |p| {
+                assert_eq!(p.total, 4);
+                assert!(p.completed >= 1 && p.completed <= 4);
+                seen.fetch_add(1, Ordering::Relaxed);
+            });
+        for i in 0..4 {
+            suite.push(tiny_spec(&format!("e{i}")), Policy::Vanilla);
+        }
+        suite.run();
+        assert_eq!(ticks.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn gains_compare_against_baseline_runs() {
+        let mut suite = ExperimentSuite::new().with_workers(2);
+        suite.push(tiny_spec("w"), Policy::Vanilla);
+        suite.push(tiny_spec("w"), Policy::Smart);
+        let report = suite.run();
+        let gains = report.gains_vs(Policy::Vanilla);
+        assert_eq!(gains.len(), 1);
+        assert_eq!(gains[0].policy, Policy::Smart);
+        assert!(gains[0].gain > 0.0);
+        let mean = report
+            .mean_gain_vs(Policy::Vanilla, Policy::Smart)
+            .expect("smart ran");
+        assert!((mean - gains[0].gain).abs() < 1e-12, "single-run geomean");
+        assert!(report.mean_gain_vs(Policy::Vanilla, Policy::Gts).is_none());
+    }
+
+    #[test]
+    fn pinned_anneal_seed_wins_over_job_seed() {
+        let mut suite = ExperimentSuite::new();
+        let spec = tiny_spec("w").with_policy_config(SmartBalanceConfig {
+            anneal_seed: Some(7),
+            ..SmartBalanceConfig::default()
+        });
+        suite.push(spec, Policy::Smart);
+        assert_eq!(suite.jobs()[0].effective_config().anneal_seed, Some(7));
+        let unpinned_spec = tiny_spec("w");
+        suite.push(unpinned_spec, Policy::Smart);
+        let job = &suite.jobs()[1];
+        assert_eq!(job.effective_config().anneal_seed, Some(job.seed as u32));
+    }
+
+    #[test]
+    fn parallel_indexed_preserves_order() {
+        let squares = parallel_indexed(17, 4, |i| i * i);
+        assert_eq!(squares.len(), 17);
+        for (i, v) in squares.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+        assert!(parallel_indexed(0, 4, |i| i).is_empty());
+    }
+}

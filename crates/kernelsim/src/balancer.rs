@@ -42,8 +42,7 @@ pub struct TaskEpochStats {
 impl TaskEpochStats {
     /// Whether the task may run on `core` per its affinity mask.
     pub fn allows_core(&self, core: CoreId) -> bool {
-        core.0 < 64 && self.allowed & (1 << core.0) != 0
-            || core.0 >= 64 && self.allowed == u64::MAX
+        core.0 < 64 && self.allowed & (1 << core.0) != 0 || core.0 >= 64 && self.allowed == u64::MAX
     }
 
     /// Measured throughput over the task's own runtime, instructions

@@ -108,7 +108,10 @@ impl System {
     /// or the migration activity is outside `[0, 1]`.
     pub fn new(platform: Platform, config: SystemConfig) -> Self {
         assert!(config.period_ns > 0, "scheduling period must be positive");
-        assert!(config.epoch_periods > 0, "an epoch needs at least one period");
+        assert!(
+            config.epoch_periods > 0,
+            "an epoch needs at least one period"
+        );
         assert!(
             (0.0..=1.0).contains(&config.migration_activity),
             "migration activity must be in [0, 1]"
@@ -296,11 +299,7 @@ impl System {
 
     /// Runs epochs until every task has exited or `max_epochs` elapse;
     /// returns the number of epochs executed.
-    pub fn run_to_completion(
-        &mut self,
-        balancer: &mut dyn LoadBalancer,
-        max_epochs: u64,
-    ) -> u64 {
+    pub fn run_to_completion(&mut self, balancer: &mut dyn LoadBalancer, max_epochs: u64) -> u64 {
         let mut epochs = 0;
         while epochs < max_epochs && self.live_tasks() > 0 {
             self.run_epoch(balancer);
@@ -429,7 +428,10 @@ impl System {
                 } else {
                     task.state = TaskState::Exited;
                     task.exited_at_ns = Some(now);
-                    self.tracer.record(TraceEvent::Exit { at_ns: now, task: tid });
+                    self.tracer.record(TraceEvent::Exit {
+                        at_ns: now,
+                        task: tid,
+                    });
                 }
             }
             let task = &mut self.tasks[tid.0];
@@ -523,7 +525,10 @@ impl System {
                     self.tasks[i].state = TaskState::Runnable;
                     let v = self.queues[core.0].enqueue(tid, vr, weight);
                     self.tasks[i].vruntime_ns = v;
-                    self.tracer.record(TraceEvent::Wake { at_ns: t, task: tid });
+                    self.tracer.record(TraceEvent::Wake {
+                        at_ns: t,
+                        task: tid,
+                    });
                 }
             }
         }
@@ -698,7 +703,10 @@ mod tests {
         let e = sys.sensors().total_energy_j();
         // Sum of sleep powers: 2% of (8.62+1.41+0.53+0.095) over 60 ms.
         let expected = 0.02 * (8.62 + 1.41 + 0.53 + 0.095) * 0.06;
-        assert!((e - expected).abs() / expected < 0.01, "e={e} expected={expected}");
+        assert!(
+            (e - expected).abs() / expected < 0.01,
+            "e={e} expected={expected}"
+        );
     }
 
     #[test]
@@ -708,8 +716,16 @@ mod tests {
         let b = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(2));
         let mut nb = NullBalancer;
         let report = sys.run_epoch(&mut nb);
-        let ra = report.tasks.iter().find(|t| t.task == a).expect("a in report");
-        let rb = report.tasks.iter().find(|t| t.task == b).expect("b in report");
+        let ra = report
+            .tasks
+            .iter()
+            .find(|t| t.task == a)
+            .expect("a in report");
+        let rb = report
+            .tasks
+            .iter()
+            .find(|t| t.task == b)
+            .expect("b in report");
         let ratio = ra.runtime_ns as f64 / rb.runtime_ns as f64;
         assert!((ratio - 1.0).abs() < 0.05, "CFS fairness violated: {ratio}");
         // Together they filled the epoch.
@@ -726,8 +742,16 @@ mod tests {
         sys.spawn_task(Task::new(light, cpu_profile(u64::MAX / 4), CoreId(1)).with_nice(5));
         let mut nb = NullBalancer;
         let report = sys.run_epoch(&mut nb);
-        let rh = report.tasks.iter().find(|t| t.task == heavy).expect("heavy");
-        let rl = report.tasks.iter().find(|t| t.task == light).expect("light");
+        let rh = report
+            .tasks
+            .iter()
+            .find(|t| t.task == heavy)
+            .expect("heavy");
+        let rl = report
+            .tasks
+            .iter()
+            .find(|t| t.task == light)
+            .expect("light");
         // weight(-5)=3121, weight(5)=335: ratio ~9.3, allow slack for
         // min-granularity rounding.
         let ratio = rh.runtime_ns as f64 / rl.runtime_ns as f64;
@@ -737,8 +761,7 @@ mod tests {
     #[test]
     fn interactive_task_sleeps() {
         let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
-        let p = cpu_profile(1_000_000_000)
-            .with_sleep(SleepPattern::new(1_000_000, 5_000_000));
+        let p = cpu_profile(1_000_000_000).with_sleep(SleepPattern::new(1_000_000, 5_000_000));
         let tid = sys.spawn_on(p, CoreId(0));
         let mut nb = NullBalancer;
         let report = sys.run_epoch(&mut nb);
@@ -872,7 +895,9 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, TraceEvent::Exit { task, .. } if *task == tid)));
-        assert!(events.iter().any(|e| matches!(e, TraceEvent::EpochEnd { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::EpochEnd { .. })));
         // Lifecycle level omits slices.
         assert!(!events.iter().any(|e| matches!(e, TraceEvent::Slice { .. })));
         // Timestamps are non-decreasing.
@@ -896,10 +921,10 @@ mod tests {
         sys.run_period();
         let events = sys.tracer().events();
         assert!(events.iter().any(|e| matches!(e, TraceEvent::Slice { .. })));
-        assert!(events.iter().any(
-            |e| matches!(e, TraceEvent::Migrate { task, from, to, .. }
-                if *task == tid && *from == CoreId(0) && *to == CoreId(2))
-        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Migrate { task, from, to, .. }
+                if *task == tid && *from == CoreId(0) && *to == CoreId(2))));
         // CSV export includes headers and the migration line.
         let csv = sys.tracer().to_csv();
         assert!(csv.contains("migrate"));

@@ -202,7 +202,8 @@ impl Task {
 
     /// Whether `core` is allowed by the task's affinity mask.
     pub fn allows_core(&self, core: CoreId) -> bool {
-        core.0 < 64 && self.allowed & (1 << core.0) != 0 || core.0 >= 64 && self.allowed == ALL_CORES
+        core.0 < 64 && self.allowed & (1 << core.0) != 0
+            || core.0 >= 64 && self.allowed == ALL_CORES
     }
 
     /// Task id.
@@ -293,7 +294,9 @@ impl Task {
 
     /// Instructions remaining in the current iteration.
     pub fn remaining_instructions(&self) -> u64 {
-        self.profile.total_instructions().saturating_sub(self.progress)
+        self.profile
+            .total_instructions()
+            .saturating_sub(self.progress)
     }
 
     /// Remaining instructions before the next sleep, if the task is

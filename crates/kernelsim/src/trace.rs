@@ -190,7 +190,9 @@ impl Tracer {
                     core,
                     duration_ns,
                     instructions,
-                } => format!("{at_ns},slice,{task},core={core};dur={duration_ns};instr={instructions}"),
+                } => format!(
+                    "{at_ns},slice,{task},core={core};dur={duration_ns};instr={instructions}"
+                ),
                 TraceEvent::Sleep {
                     at_ns,
                     task,

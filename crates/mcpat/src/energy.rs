@@ -113,7 +113,11 @@ mod tests {
     fn accumulates_per_core() {
         let p = Platform::quad_heterogeneous();
         let mut m = EnergyMeter::new(&p);
-        let added = m.accumulate(CoreId(3), PowerState::Active { activity: 1.0 }, 2_000_000_000);
+        let added = m.accumulate(
+            CoreId(3),
+            PowerState::Active { activity: 1.0 },
+            2_000_000_000,
+        );
         // Small core peak = 0.095 W for 2 s.
         assert!((added - 0.19).abs() < 1e-12);
         assert!((m.core_energy_j(CoreId(3)) - 0.19).abs() < 1e-12);
@@ -137,7 +141,11 @@ mod tests {
         let p = Platform::quad_heterogeneous();
         let mut m = EnergyMeter::new(&p);
         assert_eq!(m.instructions_per_joule(1_000), 0.0);
-        m.accumulate(CoreId(1), PowerState::Active { activity: 1.0 }, 1_000_000_000);
+        m.accumulate(
+            CoreId(1),
+            PowerState::Active { activity: 1.0 },
+            1_000_000_000,
+        );
         // Big core: 1.41 J for 1e9 instructions -> ~7.09e8 instr/J.
         let eff = m.instructions_per_joule(1_000_000_000);
         assert!((eff - 1e9 / 1.41).abs() / eff < 1e-9);

@@ -30,6 +30,8 @@ pub mod sensor;
 pub mod thermal;
 
 pub use energy::EnergyMeter;
-pub use model::{CorePowerModel, PowerState, IDLE_DYNAMIC_FLOOR, LEAKAGE_FRACTION, SLEEP_POWER_FRACTION};
+pub use model::{
+    CorePowerModel, PowerState, IDLE_DYNAMIC_FLOOR, LEAKAGE_FRACTION, SLEEP_POWER_FRACTION,
+};
 pub use sensor::PowerSensor;
 pub use thermal::{ThermalModel, AMBIENT_C};

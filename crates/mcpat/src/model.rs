@@ -74,7 +74,10 @@ impl CorePowerModel {
     /// strictly positive.
     pub fn calibrated(core: &CoreConfig) -> Self {
         assert!(core.peak_power_w > 0.0, "peak power must be positive");
-        assert!(core.vdd > 0.0 && core.freq_hz > 0.0, "operating point must be positive");
+        assert!(
+            core.vdd > 0.0 && core.freq_hz > 0.0,
+            "operating point must be positive"
+        );
         let leakage_w = LEAKAGE_FRACTION * core.peak_power_w;
         let dynamic_peak_w = core.peak_power_w - leakage_w;
         CorePowerModel {

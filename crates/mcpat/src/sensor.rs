@@ -119,11 +119,18 @@ mod tests {
         for _ in 0..n {
             let r = s.read_w(st);
             assert!(r >= 0.0);
-            assert!((r - truth).abs() / truth < 0.5, "5-sigma outlier beyond bound");
+            assert!(
+                (r - truth).abs() / truth < 0.5,
+                "5-sigma outlier beyond bound"
+            );
             sum += r;
         }
         let mean = sum / n as f64;
-        assert!((mean - truth).abs() / truth < 0.01, "bias {}", (mean - truth) / truth);
+        assert!(
+            (mean - truth).abs() / truth < 0.01,
+            "bias {}",
+            (mean - truth) / truth
+        );
     }
 
     #[test]

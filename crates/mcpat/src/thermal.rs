@@ -140,7 +140,10 @@ mod tests {
         let t = ThermalModel::new(&p);
         let huge_ss = t.steady_state_c(CoreId(0), 8.62);
         let small_ss = t.steady_state_c(CoreId(3), 0.095);
-        assert!(huge_ss > small_ss + 50.0, "huge {huge_ss} vs small {small_ss}");
+        assert!(
+            huge_ss > small_ss + 50.0,
+            "huge {huge_ss} vs small {small_ss}"
+        );
     }
 
     #[test]

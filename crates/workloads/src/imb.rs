@@ -71,7 +71,11 @@ impl ImbConfig {
 
     /// Paper-style name like `"HTHI"`.
     pub fn name(&self) -> String {
-        format!("{}T{}I", self.throughput.letter(), self.interactivity.letter())
+        format!(
+            "{}T{}I",
+            self.throughput.letter(),
+            self.interactivity.letter()
+        )
     }
 
     /// Builds the workload profile for this configuration.

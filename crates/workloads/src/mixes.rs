@@ -55,9 +55,17 @@ mod tests {
     fn table3_membership() {
         assert_eq!(MixId(1).members().len(), 2);
         assert_eq!(MixId(6).members().len(), 3);
-        let m3: Vec<String> = MixId(3).members().iter().map(|p| p.name().to_owned()).collect();
+        let m3: Vec<String> = MixId(3)
+            .members()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect();
         assert_eq!(m3, vec!["x264_L_crew", "x264_H_bow"]);
-        let m5: Vec<String> = MixId(5).members().iter().map(|p| p.name().to_owned()).collect();
+        let m5: Vec<String> = MixId(5)
+            .members()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect();
         assert_eq!(m5, vec!["bodytrack", "x264_H_crew"]);
     }
 

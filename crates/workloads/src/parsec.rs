@@ -22,6 +22,7 @@ use crate::profile::{Phase, WorkloadProfile};
 /// Chosen so a full run takes a few simulated seconds on a mid core.
 pub const BASE_INSTRUCTIONS: u64 = 600_000_000;
 
+#[allow(clippy::too_many_arguments)]
 fn w(
     ilp: f64,
     mem_share: f64,
@@ -94,11 +95,20 @@ pub fn fluidanimate() -> WorkloadProfile {
         "fluidanimate",
         vec![
             // Neighbour-list rebuild: memory heavy.
-            Phase::new(w(2.0, 0.45, 0.12, 384.0, 16.0, 0.25, 512.0, 10.0, 2.0), BASE_INSTRUCTIONS / 4),
+            Phase::new(
+                w(2.0, 0.45, 0.12, 384.0, 16.0, 0.25, 512.0, 10.0, 2.0),
+                BASE_INSTRUCTIONS / 4,
+            ),
             // Force computation: compute heavy.
-            Phase::new(w(4.5, 0.22, 0.06, 96.0, 12.0, 0.10, 128.0, 8.0, 3.0), BASE_INSTRUCTIONS / 2),
+            Phase::new(
+                w(4.5, 0.22, 0.06, 96.0, 12.0, 0.10, 128.0, 8.0, 3.0),
+                BASE_INSTRUCTIONS / 2,
+            ),
             // Position update: streaming.
-            Phase::new(w(3.0, 0.38, 0.08, 256.0, 10.0, 0.12, 384.0, 6.0, 4.0), BASE_INSTRUCTIONS / 4),
+            Phase::new(
+                w(3.0, 0.38, 0.08, 256.0, 10.0, 0.12, 384.0, 6.0, 4.0),
+                BASE_INSTRUCTIONS / 4,
+            ),
         ],
     )
 }
@@ -110,11 +120,20 @@ pub fn bodytrack() -> WorkloadProfile {
         "bodytrack",
         vec![
             // Edge-map kernels: good ILP, medium working set.
-            Phase::new(w(4.2, 0.28, 0.08, 128.0, 20.0, 0.15, 192.0, 14.0, 3.0), BASE_INSTRUCTIONS / 3),
+            Phase::new(
+                w(4.2, 0.28, 0.08, 128.0, 20.0, 0.15, 192.0, 14.0, 3.0),
+                BASE_INSTRUCTIONS / 3,
+            ),
             // Particle-filter weights: branchy, irregular.
-            Phase::new(w(1.8, 0.32, 0.26, 160.0, 36.0, 0.50, 256.0, 24.0, 1.6), BASE_INSTRUCTIONS / 3),
+            Phase::new(
+                w(1.8, 0.32, 0.26, 160.0, 36.0, 0.50, 256.0, 24.0, 1.6),
+                BASE_INSTRUCTIONS / 3,
+            ),
             // Pose refinement: mixed.
-            Phase::new(w(3.2, 0.30, 0.14, 96.0, 24.0, 0.25, 160.0, 18.0, 2.4), BASE_INSTRUCTIONS / 3),
+            Phase::new(
+                w(3.2, 0.30, 0.14, 96.0, 24.0, 0.25, 160.0, 18.0, 2.4),
+                BASE_INSTRUCTIONS / 3,
+            ),
         ],
     )
 }

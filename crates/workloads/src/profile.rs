@@ -28,7 +28,10 @@ impl Phase {
     ///
     /// Panics if `instructions == 0`.
     pub fn new(characteristics: WorkloadCharacteristics, instructions: u64) -> Self {
-        assert!(instructions > 0, "a phase must commit at least one instruction");
+        assert!(
+            instructions > 0,
+            "a phase must commit at least one instruction"
+        );
         Phase {
             characteristics,
             instructions,
@@ -53,7 +56,10 @@ impl SleepPattern {
     ///
     /// Panics if `burst_instructions == 0`.
     pub fn new(burst_instructions: u64, sleep_ns: u64) -> Self {
-        assert!(burst_instructions > 0, "burst must be at least one instruction");
+        assert!(
+            burst_instructions > 0,
+            "burst must be at least one instruction"
+        );
         SleepPattern {
             burst_instructions,
             sleep_ns,
@@ -191,6 +197,42 @@ impl WorkloadProfile {
         out.sleep = self.sleep;
         out
     }
+
+    /// Splits the profile into `threads` worker shares that together
+    /// commit exactly `total_instructions()` (when every phase has at
+    /// least `threads` instructions): the first `threads - 1` workers
+    /// take `1/threads` of each phase, the last takes the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn split_among(&self, threads: usize) -> Vec<Self> {
+        assert!(threads > 0, "need at least one thread");
+        if threads == 1 {
+            return vec![self.clone()];
+        }
+        let share = self.scaled(1.0 / threads as f64);
+        let copies = (threads - 1) as u64;
+        let last_phases = self
+            .phases
+            .iter()
+            .zip(share.phases())
+            .map(|(orig, part)| Phase {
+                characteristics: orig.characteristics,
+                // Whatever the equal shares did not cover; a rounded-up
+                // share of a tiny phase can cover it all, so clamp.
+                instructions: orig
+                    .instructions
+                    .saturating_sub(part.instructions * copies)
+                    .max(1),
+            })
+            .collect();
+        let mut last = WorkloadProfile::new(self.name.clone(), last_phases);
+        last.sleep = self.sleep;
+        let mut parts = vec![share; threads - 1];
+        parts.push(last);
+        parts
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +291,10 @@ mod tests {
         assert_eq!(s.phases().len(), 2);
         assert_eq!(s.sleep_pattern(), Some(SleepPattern::new(10, 5)));
         let tiny = p.scaled(1e-9);
-        assert!(tiny.total_instructions() >= 2, "phases never collapse to zero");
+        assert!(
+            tiny.total_instructions() >= 2,
+            "phases never collapse to zero"
+        );
     }
 
     #[test]
@@ -274,10 +319,22 @@ mod tests {
                 Phase::new(WorkloadCharacteristics::branch_bound(), 1),
             ],
         );
-        assert_eq!(*p.characteristics_at(0), WorkloadCharacteristics::compute_bound());
-        assert_eq!(*p.characteristics_at(1), WorkloadCharacteristics::memory_bound());
-        assert_eq!(*p.characteristics_at(2), WorkloadCharacteristics::branch_bound());
-        assert_eq!(*p.characteristics_at(3), WorkloadCharacteristics::branch_bound());
+        assert_eq!(
+            *p.characteristics_at(0),
+            WorkloadCharacteristics::compute_bound()
+        );
+        assert_eq!(
+            *p.characteristics_at(1),
+            WorkloadCharacteristics::memory_bound()
+        );
+        assert_eq!(
+            *p.characteristics_at(2),
+            WorkloadCharacteristics::branch_bound()
+        );
+        assert_eq!(
+            *p.characteristics_at(3),
+            WorkloadCharacteristics::branch_bound()
+        );
     }
 
     #[test]
@@ -294,6 +351,28 @@ mod tests {
         // Per-phase proportions preserved.
         assert_eq!(half.phases()[0].instructions, 500);
         assert_eq!(half.phases()[1].instructions, 1_500);
+    }
+
+    #[test]
+    fn split_among_conserves_instructions() {
+        let p = WorkloadProfile::new(
+            "odd",
+            vec![
+                Phase::new(WorkloadCharacteristics::compute_bound(), 1_000_003),
+                Phase::new(WorkloadCharacteristics::memory_bound(), 777),
+            ],
+        )
+        .with_sleep(SleepPattern::new(10, 5));
+        for threads in [1, 2, 3, 4, 8] {
+            let parts = p.split_among(threads);
+            assert_eq!(parts.len(), threads);
+            let total: u64 = parts.iter().map(WorkloadProfile::total_instructions).sum();
+            assert_eq!(total, p.total_instructions(), "{threads} threads");
+            for part in &parts {
+                assert_eq!(part.sleep_pattern(), Some(SleepPattern::new(10, 5)));
+                assert_eq!(part.phases().len(), 2);
+            }
+        }
     }
 
     #[test]

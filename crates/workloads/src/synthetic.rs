@@ -155,8 +155,14 @@ mod tests {
         let mut g = SyntheticGenerator::new(3);
         let corpus = g.corpus(200);
         assert_eq!(corpus.len(), 200);
-        let min_ws = corpus.iter().map(|c| c.data_working_set_kib).fold(f64::MAX, f64::min);
-        let max_ws = corpus.iter().map(|c| c.data_working_set_kib).fold(0.0, f64::max);
+        let min_ws = corpus
+            .iter()
+            .map(|c| c.data_working_set_kib)
+            .fold(f64::MAX, f64::min);
+        let max_ws = corpus
+            .iter()
+            .map(|c| c.data_working_set_kib)
+            .fold(0.0, f64::max);
         assert!(min_ws < 64.0, "some cache-resident workloads: {min_ws}");
         assert!(max_ws > 1_024.0, "some cache-hostile workloads: {max_ws}");
     }

@@ -92,7 +92,7 @@ fn main() {
     }
 
     // Baseline for context.
-    let mut vanilla = Policy::Vanilla.build(&platform);
+    let mut vanilla = Policy::Vanilla.build(&platform, None);
     let r = run_experiment(&spec, vanilla.as_mut());
     println!(
         "{:<16} {:>9.3e} {:>9.3} {:>7.3} {:>12}",

@@ -20,12 +20,28 @@ use workloads::{ImbConfig, Level, SleepPattern, WorkloadProfile};
 fn build_system(platform: &Platform) -> System {
     let mut sys = System::new(platform.clone(), SystemConfig::default());
     // Foreground: high throughput, highly interactive (a game loop).
-    sys.spawn(ImbConfig::new(Level::High, Level::High).profile().scaled(0.5));
+    sys.spawn(
+        ImbConfig::new(Level::High, Level::High)
+            .profile()
+            .scaled(0.5),
+    );
     // Background services.
-    sys.spawn(ImbConfig::new(Level::Medium, Level::Medium).profile().scaled(0.5));
-    sys.spawn(ImbConfig::new(Level::Medium, Level::High).profile().scaled(0.5));
+    sys.spawn(
+        ImbConfig::new(Level::Medium, Level::Medium)
+            .profile()
+            .scaled(0.5),
+    );
+    sys.spawn(
+        ImbConfig::new(Level::Medium, Level::High)
+            .profile()
+            .scaled(0.5),
+    );
     // A logger: low throughput, mostly asleep.
-    sys.spawn(ImbConfig::new(Level::Low, Level::High).profile().scaled(0.5));
+    sys.spawn(
+        ImbConfig::new(Level::Low, Level::High)
+            .profile()
+            .scaled(0.5),
+    );
     // Kernel housekeeping: tiny periodic bursts, never exits.
     for k in 0..2 {
         let id = sys.next_task_id();
@@ -49,11 +65,17 @@ fn main() {
         let mut sys = build_system(&platform);
         let mut policy: Box<dyn kernelsim::LoadBalancer> = match policy_kind {
             Policy::Smart => Box::new(SmartBalance::new(&platform)),
-            other => other.build(&platform),
+            other => other.build(&platform, None),
         };
         let mut epochs = 0;
         // Kernel threads never exit; run until the user tasks are done.
-        while epochs < 400 && sys.tasks().iter().filter(|t| !t.is_kernel_thread()).any(|t| !t.is_exited()) {
+        while epochs < 400
+            && sys
+                .tasks()
+                .iter()
+                .filter(|t| !t.is_kernel_thread())
+                .any(|t| !t.is_exited())
+        {
             sys.run_epoch(policy.as_mut());
             epochs += 1;
         }

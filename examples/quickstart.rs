@@ -1,13 +1,14 @@
-//! Quickstart: run one benchmark under the vanilla Linux balancer and
-//! under SmartBalance on the paper's quad-core heterogeneous MPSoC and
-//! compare measured energy efficiency.
+//! Quickstart: queue one benchmark under the vanilla Linux balancer
+//! and under SmartBalance on the paper's quad-core heterogeneous
+//! MPSoC, run both in parallel, and compare measured energy
+//! efficiency.
 //!
 //! ```sh
 //! cargo run --release -p smartbalance --example quickstart
 //! ```
 
 use archsim::Platform;
-use smartbalance::{compare_policies, ExperimentSpec, Policy};
+use smartbalance::{ExperimentSpec, ExperimentSuite, Policy};
 
 fn main() {
     // The paper's primary platform: Huge + Big + Medium + Small cores.
@@ -20,12 +21,19 @@ fn main() {
         let bench = workloads::parsec::by_name(name).expect("known benchmark");
         profiles.extend(ExperimentSpec::parallelize(&bench.scaled(0.3), 2));
     }
-
     let spec = ExperimentSpec::new("quickstart", platform, profiles);
-    let results = compare_policies(&spec, &[Policy::Vanilla, Policy::Smart]);
+
+    // Queue both policies on the experiment suite; they run on the
+    // worker pool and come back in push order.
+    let mut suite = ExperimentSuite::new();
+    for policy in [Policy::Vanilla, Policy::Smart] {
+        suite.push(spec.clone(), policy);
+    }
+    let report = suite.run();
 
     println!("policy        instr/J        avg W    sim time   migrations");
-    for r in &results {
+    for job in &report.jobs {
+        let r = &job.result;
         println!(
             "{:<12} {:>10.3e} {:>10.3} {:>8.2} s {:>12}",
             r.policy,
@@ -37,6 +45,6 @@ fn main() {
     }
     println!(
         "\nSmartBalance / vanilla energy efficiency: {:.2}x",
-        results[1].efficiency_vs(&results[0])
+        report.gains_vs(Policy::Vanilla)[0].gain
     );
 }

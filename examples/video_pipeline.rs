@@ -34,7 +34,10 @@ fn main() {
             sys.spawn(worker);
         }
     }
-    println!("spawned {} threads of Mix6 (bodytrack + x264_H_crew + x264_L_bow)", labels.len());
+    println!(
+        "spawned {} threads of Mix6 (bodytrack + x264_H_crew + x264_L_bow)",
+        labels.len()
+    );
 
     let mut policy = SmartBalance::new(&platform);
     let mut epoch = 0u64;

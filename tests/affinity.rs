@@ -124,7 +124,10 @@ fn gts_respects_affinity_even_for_busy_threads() {
         sys.run_epoch(&mut policy);
     }
     let core = sys.task(tid).core();
-    assert!(core.0 >= 4, "pinned hog must stay on the little cluster, is on {core}");
+    assert!(
+        core.0 >= 4,
+        "pinned hog must stay on the little cluster, is on {core}"
+    );
 }
 
 #[test]
@@ -135,9 +138,11 @@ fn affinity_builder_validates() {
     let result = std::panic::catch_unwind(|| {
         Task::new(TaskId(0), hog("x"), CoreId(1)).with_affinity(0b0001)
     });
-    assert!(result.is_err(), "mask excluding the initial core must panic");
-    let result = std::panic::catch_unwind(|| {
-        Task::new(TaskId(0), hog("x"), CoreId(0)).with_affinity(0)
-    });
+    assert!(
+        result.is_err(),
+        "mask excluding the initial core must panic"
+    );
+    let result =
+        std::panic::catch_unwind(|| Task::new(TaskId(0), hog("x"), CoreId(0)).with_affinity(0));
     assert!(result.is_err(), "empty mask must panic");
 }

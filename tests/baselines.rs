@@ -29,7 +29,11 @@ fn vanilla_equalizes_counts_blind_to_core_types() {
     for t in sys.tasks() {
         per_core[t.core().0] += 1;
     }
-    assert_eq!(per_core, [2, 2, 2, 2], "vanilla spreads evenly: {per_core:?}");
+    assert_eq!(
+        per_core,
+        [2, 2, 2, 2],
+        "vanilla spreads evenly: {per_core:?}"
+    );
 }
 
 #[test]
@@ -72,8 +76,7 @@ fn gts_down_migrates_idle_threads_to_little_cluster() {
     // Mostly-sleeping UI threads started on big cores.
     let mut ids = Vec::new();
     for i in 0..3 {
-        let p = cpu_hog(&format!("ui{i}"))
-            .with_sleep(SleepPattern::new(500_000, 20_000_000));
+        let p = cpu_hog(&format!("ui{i}")).with_sleep(SleepPattern::new(500_000, 20_000_000));
         ids.push(sys.spawn_on(p, CoreId(i)));
     }
     let mut policy = GtsBalancer::new();
@@ -148,5 +151,9 @@ fn gts_spreads_load_within_cluster() {
     for t in sys.tasks() {
         per_core[t.core().0] += 1;
     }
-    assert_eq!(&per_core[..4], &[1, 1, 1, 1], "one hog per big core: {per_core:?}");
+    assert_eq!(
+        &per_core[..4],
+        &[1, 1, 1, 1],
+        "one hog per big core: {per_core:?}"
+    );
 }

@@ -136,11 +136,7 @@ fn exited_threads_leave_the_loop() {
         CoreId(1),
     );
     sys.spawn_on(
-        WorkloadProfile::uniform(
-            "long",
-            WorkloadCharacteristics::balanced(),
-            u64::MAX / 4,
-        ),
+        WorkloadProfile::uniform("long", WorkloadCharacteristics::balanced(), u64::MAX / 4),
         CoreId(2),
     );
     let mut policy = SmartBalance::new(&platform);
@@ -163,11 +159,7 @@ fn spawned_mid_run_threads_get_balanced() {
     let mut sys = System::new(platform.clone(), SystemConfig::default());
     let mut policy = SmartBalance::new(&platform);
     sys.spawn_on(
-        WorkloadProfile::uniform(
-            "first",
-            WorkloadCharacteristics::balanced(),
-            u64::MAX / 4,
-        ),
+        WorkloadProfile::uniform("first", WorkloadCharacteristics::balanced(), u64::MAX / 4),
         CoreId(0),
     );
     for _ in 0..3 {

@@ -78,11 +78,7 @@ fn slower_points_win_energy_for_memory_bound_work() {
     let platform = dvfs_platform();
     let mut sys = System::new(platform.clone(), SystemConfig::default());
     let mem = sys.spawn_on(
-        WorkloadProfile::uniform(
-            "mem",
-            WorkloadCharacteristics::memory_bound(),
-            u64::MAX / 8,
-        ),
+        WorkloadProfile::uniform("mem", WorkloadCharacteristics::memory_bound(), u64::MAX / 8),
         archsim::CoreId(0), // fastest island
     );
     let mut policy = SmartBalance::new(&platform);

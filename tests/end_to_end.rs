@@ -36,10 +36,7 @@ fn smartbalance_beats_gts_on_big_little() {
     let results = compare_policies(&spec, &[Policy::Gts, Policy::Smart]);
     assert!(results.iter().all(|r| r.completed));
     let ratio = results[1].efficiency_vs(&results[0]);
-    assert!(
-        ratio > 1.05,
-        "SmartBalance should beat GTS, got {ratio:.3}"
-    );
+    assert!(ratio > 1.05, "SmartBalance should beat GTS, got {ratio:.3}");
 }
 
 #[test]

@@ -1,13 +1,49 @@
-//! Property-based cross-crate invariants (proptest): the DESIGN.md
-//! invariant list, exercised with randomized workloads, platforms and
-//! allocations.
+//! Cross-crate invariants: the DESIGN.md invariant list, exercised
+//! over 64 deterministic pseudo-random cases per property (seeded
+//! `SyntheticGenerator` sweeps stand in for proptest, which is
+//! unavailable in the offline build environment).
 
 use archsim::{run_slice, CoreConfig, CoreId, CoreTypeId, Platform, WorkloadCharacteristics};
 use kernelsim::{NullBalancer, System, SystemConfig, TaskId};
-use proptest::prelude::*;
 use smartbalance::fixed::{fx_exp_neg, Fx, Randi};
 use smartbalance::{anneal, AnnealParams, CharacterizationMatrices, Goal, Objective};
-use workloads::WorkloadProfile;
+use workloads::{SyntheticGenerator, WorkloadProfile};
+
+/// Cases per property — matches the proptest case count this harness
+/// replaced.
+const CASES: u64 = 64;
+
+/// A generator seeded per (property, case) so properties are
+/// independent and every run is identical.
+fn case_gen(property: u64, case: u64) -> SyntheticGenerator {
+    SyntheticGenerator::new((property << 32) ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1)
+}
+
+fn gen_characteristics(gen: &mut SyntheticGenerator) -> WorkloadCharacteristics {
+    WorkloadCharacteristics {
+        ilp: gen.range(0.5, 8.0),
+        mem_share: gen.range(0.0, 0.6),
+        branch_share: gen.range(0.0, 0.35),
+        data_working_set_kib: gen.range(1.0, 8192.0),
+        code_working_set_kib: gen.range(1.0, 512.0),
+        branch_entropy: gen.range(0.0, 1.0),
+        data_pages: gen.range(1.0, 10_000.0),
+        code_pages: gen.range(1.0, 1_000.0),
+        mlp: gen.range(1.0, 8.0),
+    }
+    .clamped()
+}
+
+fn gen_core(gen: &mut SyntheticGenerator) -> CoreConfig {
+    match gen.below(6) {
+        0 => CoreConfig::huge(),
+        1 => CoreConfig::big(),
+        2 => CoreConfig::medium(),
+        3 => CoreConfig::small(),
+        4 => CoreConfig::a15_like(),
+        _ => CoreConfig::a7_like(),
+    }
+}
 
 #[test]
 fn key_types_serde_roundtrip() {
@@ -52,110 +88,105 @@ fn key_types_serde_roundtrip() {
     }
 }
 
-fn arb_characteristics() -> impl Strategy<Value = WorkloadCharacteristics> {
-    (
-        0.5f64..8.0,
-        0.0f64..0.6,
-        0.0f64..0.35,
-        1.0f64..8192.0,
-        1.0f64..512.0,
-        0.0f64..1.0,
-        1.0f64..10_000.0,
-        1.0f64..1_000.0,
-        1.0f64..8.0,
-    )
-        .prop_map(
-            |(ilp, mem, br, dws, cws, ent, dp, cp, mlp)| {
-                WorkloadCharacteristics {
-                    ilp,
-                    mem_share: mem,
-                    branch_share: br,
-                    data_working_set_kib: dws,
-                    code_working_set_kib: cws,
-                    branch_entropy: ent,
-                    data_pages: dp,
-                    code_pages: cp,
-                    mlp,
-                }
-                .clamped()
-            },
-        )
-}
-
-fn arb_core() -> impl Strategy<Value = CoreConfig> {
-    prop_oneof![
-        Just(CoreConfig::huge()),
-        Just(CoreConfig::big()),
-        Just(CoreConfig::medium()),
-        Just(CoreConfig::small()),
-        Just(CoreConfig::a15_like()),
-        Just(CoreConfig::a7_like()),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// archsim: IPC is positive, bounded by peak, and counters are
-    /// internally consistent for any workload × core × duration.
-    #[test]
-    fn slice_counters_always_consistent(
-        w in arb_characteristics(),
-        core in arb_core(),
-        dur in 1_000u64..100_000_000,
-    ) {
+/// archsim: IPC is positive, bounded by peak, and counters are
+/// internally consistent for any workload × core × duration.
+#[test]
+fn slice_counters_always_consistent() {
+    for case in 0..CASES {
+        let mut gen = case_gen(1, case);
+        let w = gen_characteristics(&mut gen);
+        let core = gen_core(&mut gen);
+        let dur = 1_000 + gen.below(100_000_000 - 1_000);
         let s = run_slice(&w, &core, dur);
-        prop_assert!(s.ipc > 0.0 && s.ipc <= core.peak_ipc * 1.001);
-        prop_assert!(s.activity >= 0.0 && s.activity <= 1.0);
+        assert!(
+            s.ipc > 0.0 && s.ipc <= core.peak_ipc * 1.001,
+            "case {case}: ipc {} vs peak {}",
+            s.ipc,
+            core.peak_ipc
+        );
+        assert!((0.0..=1.0).contains(&s.activity), "case {case}");
         let c = &s.counters;
-        prop_assert!(c.l1d_misses <= c.l1d_accesses);
-        prop_assert!(c.l1i_misses <= c.l1i_accesses);
-        prop_assert!(c.branch_mispredicts <= c.branch_instructions);
-        prop_assert!(c.itlb_misses <= c.itlb_accesses);
-        prop_assert!(c.dtlb_misses <= c.dtlb_accesses);
-        prop_assert!(c.mem_instructions <= c.instructions);
-        prop_assert!(c.branch_instructions <= c.instructions);
-        prop_assert!(c.cy_mem_stall <= c.cy_idle);
+        assert!(c.l1d_misses <= c.l1d_accesses, "case {case}");
+        assert!(c.l1i_misses <= c.l1i_accesses, "case {case}");
+        assert!(c.branch_mispredicts <= c.branch_instructions, "case {case}");
+        assert!(c.itlb_misses <= c.itlb_accesses, "case {case}");
+        assert!(c.dtlb_misses <= c.dtlb_accesses, "case {case}");
+        assert!(c.mem_instructions <= c.instructions, "case {case}");
+        assert!(c.branch_instructions <= c.instructions, "case {case}");
+        assert!(c.cy_mem_stall <= c.cy_idle, "case {case}");
     }
+}
 
-    /// mcpat: power is monotone in activity and bounded by the
-    /// calibrated peak for every core type.
-    #[test]
-    fn power_monotone_and_bounded(core in arb_core(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+/// mcpat: power is monotone in activity and bounded by the calibrated
+/// peak for every core type.
+#[test]
+fn power_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut gen = case_gen(2, case);
+        let core = gen_core(&mut gen);
+        let a = gen.range(0.0, 1.0);
+        let b = gen.range(0.0, 1.0);
         let model = mcpat::CorePowerModel::calibrated(&core);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(model.active_power_w(lo) <= model.active_power_w(hi) + 1e-12);
-        prop_assert!(model.active_power_w(hi) <= core.peak_power_w * 1.000001);
-        prop_assert!(model.power_w(mcpat::PowerState::Sleeping) < model.active_power_w(0.0));
+        assert!(
+            model.active_power_w(lo) <= model.active_power_w(hi) + 1e-12,
+            "case {case}"
+        );
+        assert!(
+            model.active_power_w(hi) <= core.peak_power_w * 1.000001,
+            "case {case}"
+        );
+        assert!(
+            model.power_w(mcpat::PowerState::Sleeping) < model.active_power_w(0.0),
+            "case {case}"
+        );
     }
+}
 
-    /// fixed point: e^-x stays within tolerance of the float result.
-    #[test]
-    fn fx_exp_matches_float(x in 0.0f64..11.0) {
+/// fixed point: e^-x stays within tolerance of the float result.
+#[test]
+fn fx_exp_matches_float() {
+    for case in 0..CASES {
+        let mut gen = case_gen(3, case);
+        let x = gen.range(0.0, 11.0);
         let got = fx_exp_neg(Fx::from_f64(x)).to_f64();
         let want = (-x).exp();
-        prop_assert!((got - want).abs() < 0.01 * want.max(0.05));
+        assert!(
+            (got - want).abs() < 0.01 * want.max(0.05),
+            "case {case}: exp(-{x}) = {want}, fx gave {got}"
+        );
     }
+}
 
-    /// fixed point: randi_range never leaves its interval.
-    #[test]
-    fn randi_range_in_bounds(seed in any::<u32>(), lo in -100i64..100, span in 1i64..1000) {
+/// fixed point: randi_range never leaves its interval.
+#[test]
+fn randi_range_in_bounds() {
+    for case in 0..CASES {
+        let mut gen = case_gen(4, case);
+        let seed = gen.below(1 << 32) as u32;
+        let lo = gen.below(200) as i64 - 100;
+        let span = 1 + gen.below(999) as i64;
         let mut r = Randi::new(seed);
         for _ in 0..100 {
             let v = r.randi_range(lo, lo + span);
-            prop_assert!(v >= lo && v < lo + span);
+            assert!(
+                v >= lo && v < lo + span,
+                "case {case}: {v} ∉ [{lo}, {})",
+                lo + span
+            );
         }
     }
+}
 
-    /// annealer: for any random matrices and initial allocation, the
-    /// result is a valid allocation no worse than the initial one.
-    #[test]
-    fn anneal_valid_and_never_worse(
-        seed in any::<u32>(),
-        n in 2usize..8,
-        m in 1usize..12,
-    ) {
-        let mut gen = workloads::SyntheticGenerator::new(u64::from(seed) | 1);
+/// annealer: for any random matrices and initial allocation, the
+/// result is a valid allocation no worse than the initial one.
+#[test]
+fn anneal_valid_and_never_worse() {
+    for case in 0..CASES {
+        let mut gen = case_gen(5, case);
+        let seed = gen.below(1 << 32) as u32;
+        let n = 2 + gen.below(6) as usize;
+        let m = 1 + gen.below(11) as usize;
         let mut mat = CharacterizationMatrices::new(
             (0..m).map(TaskId).collect(),
             (0..n).map(CoreTypeId).collect(),
@@ -170,26 +201,29 @@ proptest! {
         let initial: Vec<usize> = (0..m).map(|i| i % n).collect();
         let objective = Objective::new(&mat, Goal::EnergyEfficiency);
         let out = anneal(&objective, &initial, AnnealParams::cooled(150), seed);
-        prop_assert_eq!(out.allocation.len(), m);
+        assert_eq!(out.allocation.len(), m, "case {case}");
         for &c in &out.allocation {
-            prop_assert!(c < n);
+            assert!(c < n, "case {case}");
         }
-        prop_assert!(out.objective >= out.initial_objective - 1e-12);
+        assert!(
+            out.objective >= out.initial_objective - 1e-12,
+            "case {case}"
+        );
         // And the reported objective matches a fresh evaluation.
         let fresh = objective.evaluate(&out.allocation);
-        prop_assert!((fresh - out.objective).abs() < 1e-9);
+        assert!((fresh - out.objective).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// kernelsim: total instructions across tasks equal total across
-    /// cores, for random task sets.
-    #[test]
-    fn task_and_core_ledgers_agree(
-        seed in any::<u64>(),
-        tasks in 1usize..10,
-    ) {
+/// kernelsim: total instructions across tasks equal total across
+/// cores, for random task sets.
+#[test]
+fn task_and_core_ledgers_agree() {
+    for case in 0..CASES {
+        let mut gen = case_gen(6, case);
+        let tasks = 1 + gen.below(9) as usize;
         let platform = Platform::quad_heterogeneous();
         let mut sys = System::new(platform, SystemConfig::default());
-        let mut gen = workloads::SyntheticGenerator::new(seed | 1);
         for i in 0..tasks {
             let interactive = gen.below(2) == 0;
             sys.spawn(gen.profile(format!("t{i}"), 3, 200_000_000, interactive));
@@ -198,20 +232,23 @@ proptest! {
         let report = sys.run_epoch(&mut nb);
         let task_instr: u64 = report.tasks.iter().map(|t| t.counters.instructions).sum();
         let core_instr: u64 = report.cores.iter().map(|c| c.counters.instructions).sum();
-        prop_assert_eq!(task_instr, core_instr);
+        assert_eq!(task_instr, core_instr, "case {case}");
         let task_energy: f64 = report.tasks.iter().map(|t| t.energy_j).sum();
         let core_energy: f64 = report.cores.iter().map(|c| c.energy_j).sum();
         // Core energy additionally includes sleep energy.
-        prop_assert!(core_energy >= task_energy - 1e-12);
+        assert!(core_energy >= task_energy - 1e-12, "case {case}");
     }
+}
 
-    /// kernelsim: migration preserves tasks (none lost or duplicated)
-    /// for random allocations.
-    #[test]
-    fn migration_preserves_tasks(seed in any::<u64>(), moves in 1usize..20) {
+/// kernelsim: migration preserves tasks (none lost or duplicated) for
+/// random allocations.
+#[test]
+fn migration_preserves_tasks() {
+    for case in 0..CASES {
+        let mut gen = case_gen(7, case);
+        let moves = 1 + gen.below(19) as usize;
         let platform = Platform::quad_heterogeneous();
         let mut sys = System::new(platform, SystemConfig::default());
-        let mut gen = workloads::SyntheticGenerator::new(seed | 1);
         let ids: Vec<TaskId> = (0..6)
             .map(|i| {
                 sys.spawn(WorkloadProfile::uniform(
@@ -227,17 +264,15 @@ proptest! {
                 alloc.assign(id, CoreId(gen.below(4) as usize));
             }
             sys.apply_allocation(&alloc);
-            let mut nb = NullBalancer;
             sys.run_period();
-            let _ = &mut nb;
         }
         // Every task exists exactly once and sits on a valid core.
-        prop_assert_eq!(sys.tasks().len(), 6);
+        assert_eq!(sys.tasks().len(), 6, "case {case}");
         for t in sys.tasks() {
-            prop_assert!(t.core().0 < 4);
+            assert!(t.core().0 < 4, "case {case}");
         }
         let mut nb = NullBalancer;
         let report = sys.run_epoch(&mut nb);
-        prop_assert_eq!(report.tasks.len(), 6);
+        assert_eq!(report.tasks.len(), 6, "case {case}");
     }
 }

@@ -1,0 +1,127 @@
+//! Integration tests for the parallel experiment-suite engine: the
+//! parallel fan-out must be an *observationally invisible* optimization
+//! — bit-identical to running the same jobs serially — while still
+//! delivering a real wall-clock speedup on multicore hosts.
+
+use archsim::Platform;
+use smartbalance::{run_experiment, ExperimentSpec, ExperimentSuite, Policy, SmartBalanceConfig};
+use workloads::{ImbConfig, Level};
+
+/// A small but non-trivial spec: two IMB profiles on the big.LITTLE
+/// platform (the one every policy, including GTS and IKS, supports).
+fn spec(name: &str, scale: f64) -> ExperimentSpec {
+    let profiles = vec![
+        ImbConfig::new(Level::High, Level::Low)
+            .profile()
+            .scaled(scale),
+        ImbConfig::new(Level::Medium, Level::Low)
+            .profile()
+            .scaled(scale),
+    ];
+    ExperimentSpec::new(name, Platform::octa_big_little(), profiles)
+}
+
+/// Eight-plus jobs mixing policies, experiments and a pinned config —
+/// the workload the acceptance criteria are checked against.
+fn build_suite(workers: usize) -> ExperimentSuite {
+    let mut suite = ExperimentSuite::new().with_workers(workers);
+    for (i, policy) in [Policy::Vanilla, Policy::Gts, Policy::Iks, Policy::Smart]
+        .into_iter()
+        .enumerate()
+    {
+        suite.push(spec(&format!("w{i}"), 0.08), policy);
+    }
+    for i in 0..3 {
+        suite.push(spec(&format!("w{i}"), 0.08), Policy::Smart);
+    }
+    // One job whose config pins its own annealer seed.
+    let pinned = spec("pinned", 0.08).with_policy_config(SmartBalanceConfig {
+        anneal_seed: Some(42),
+        ..SmartBalanceConfig::default()
+    });
+    suite.push(pinned, Policy::Smart);
+    suite
+}
+
+/// Serializes every job result; equality of these strings is
+/// bit-equality of every f64 in them (Rust's float `Display` is
+/// shortest-roundtrip, so distinct bits print distinctly).
+fn fingerprint(report: &smartbalance::SuiteReport) -> Vec<String> {
+    report
+        .jobs
+        .iter()
+        .map(|j| serde_json::to_string(&j.result).expect("serialize"))
+        .collect()
+}
+
+#[test]
+fn parallel_suite_matches_serial_run_experiment() {
+    let suite = build_suite(4);
+    assert!(suite.jobs().len() >= 8, "acceptance: at least 8 jobs");
+    let report = suite.run();
+
+    // Re-run every job serially through the plain runner entry point,
+    // building the balancer exactly as the suite did.
+    for (parallel, job) in report.jobs.iter().zip(suite.jobs()) {
+        let mut balancer = job.build_balancer();
+        let serial = run_experiment(&job.spec, balancer.as_mut());
+        assert_eq!(
+            serde_json::to_string(&serial).expect("serialize"),
+            serde_json::to_string(&parallel.result).expect("serialize"),
+            "job {} ({:?}) diverged from its serial rerun",
+            parallel.job_index,
+            parallel.policy,
+        );
+    }
+}
+
+#[test]
+fn rerunning_the_suite_is_bit_identical_and_faster_in_parallel() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let serial_report = build_suite(1).run();
+    let parallel_report = build_suite(cores).run();
+
+    // Determinism: same jobs, different worker counts and scheduling
+    // orders, bit-identical measurements.
+    assert_eq!(fingerprint(&serial_report), fingerprint(&parallel_report));
+
+    // And a third run with an odd pool size for good measure.
+    assert_eq!(
+        fingerprint(&serial_report),
+        fingerprint(&build_suite(3).run())
+    );
+
+    // Speedup: on a multicore host the 8-job fan-out must beat the
+    // one-worker run on wall-clock.
+    if cores >= 2 {
+        assert!(
+            parallel_report.wall_s < serial_report.wall_s,
+            "no speedup: {} workers took {:.3}s vs {:.3}s serial",
+            cores,
+            parallel_report.wall_s,
+            serial_report.wall_s,
+        );
+        assert!(parallel_report.speedup() > 1.0);
+    }
+    assert!(serial_report.throughput_jobs_per_s() > 0.0);
+}
+
+#[test]
+fn suite_report_round_trips_through_json() {
+    let mut suite = ExperimentSuite::new().with_workers(2);
+    suite.push(spec("w0", 0.01), Policy::Vanilla);
+    suite.push(spec("w0", 0.01), Policy::Smart);
+    let report = suite.run();
+
+    let json = serde_json::to_string(&report).expect("serialize report");
+    let back: smartbalance::SuiteReport = serde_json::from_str(&json).expect("deserialize report");
+    assert_eq!(fingerprint(&report), fingerprint(&back));
+    assert_eq!(back.workers, report.workers);
+    assert_eq!(
+        back.gains_vs(Policy::Vanilla)[0].gain,
+        report.gains_vs(Policy::Vanilla)[0].gain,
+    );
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of criterion's API this workspace's benches
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`/`iter_batched`, `BenchmarkId`, the `criterion_group!`
+//! / `criterion_main!` macros) over a plain wall-clock harness: each
+//! benchmark is warmed up once, then timed in adaptive batches until
+//! enough samples accumulate, and the mean per-iteration time is
+//! printed. No statistics, plots, or CLI flags — just numbers.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; sizing is irrelevant to this
+/// harness, the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark label of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one label.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A label from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures and records elapsed time.
+pub struct Bencher {
+    /// Total measured time across all timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+    /// Measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        while self.elapsed < self.budget {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only `routine` is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        while self.elapsed < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<40} (no timed iterations)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!(
+            "{label:<40} time: {:>12} /iter  ({} iters)",
+            format_ns(per_iter),
+            self.iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The top-level harness handle passed to benchmark functions.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// CLI parsing is not supported; accepts and ignores the flags so
+    /// `cargo bench` extra arguments don't break the binaries.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.budget = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        b.report(&id.to_string());
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample budget for this group (interpreted as a
+    /// measurement-time scale; sample counts are not used directly).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.budget = t;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Ends the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's
+/// macro (benches set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert!(b.iters > 0);
+        assert_eq!(calls, b.iters + 1); // +1 warm-up call
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        let id = BenchmarkId::new("epoch", "Smart");
+        assert_eq!(id.to_string(), "epoch/Smart");
+    }
+}

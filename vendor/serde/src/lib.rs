@@ -1,0 +1,467 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the subset of serde this workspace relies on, implemented
+//! over an explicit [`Value`] tree instead of serde's visitor core:
+//!
+//! - [`Serialize`] / [`Deserialize`] traits with impls for the std
+//!   types the workspace serializes (integers, floats, `bool`,
+//!   `String`, `Option`, `Vec`, arrays, tuples, `BTreeMap`),
+//! - re-exported `#[derive(Serialize, Deserialize)]` macros (see the
+//!   vendored `serde_derive`),
+//! - the [`Value`] data model consumed by the vendored `serde_json`.
+//!
+//! The representation choices (newtype transparency, externally tagged
+//! enums, `Option` ↔ `null`) match serde's defaults so swapping the
+//! real crates back in later is a manifest-only change.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialization error (also used for deserialization mismatches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX` or
+    /// the source type is unsigned).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered key → value map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Shared `Null` for lookups of missing map keys.
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// The value under `key`, or `Null` when the key is absent (which
+    /// deserializes cleanly into `Option` fields and errors for
+    /// required ones).
+    pub fn map_get(&self, key: &str) -> &Value {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// The `index`-th element of an array value.
+    pub fn seq_get(&self, index: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(index)
+                .ok_or_else(|| Error::new(format!("array too short: no index {index}"))),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// For externally tagged enums: a single-entry map viewed as
+    /// `(tag, inner)`.
+    pub fn as_tag_pair(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::new("unsigned value out of range"))?,
+                    other => return Err(Error::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| Error::new("negative value for unsigned type"))?,
+                    other => return Err(Error::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        u64::deserialize_value(v)
+            .and_then(|n| usize::try_from(n).map_err(|_| Error::new("usize out of range")))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        i64::deserialize_value(v)
+            .and_then(|n| isize::try_from(n).map_err(|_| Error::new("isize out of range")))
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    other => Err(Error::new(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(Error::new(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::new(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                Ok(($($t::deserialize_value(v.seq_get($idx)?)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Map keys must render as strings in JSON; integers are formatted the
+/// way `serde_json` formats integer keys.
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Int(n) => Ok(n.to_string()),
+        Value::UInt(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::new(format!("unsupported map key {other:?}"))),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    // Try the string itself, then numeric reinterpretations — covers
+    // both string keys and integer/newtype keys.
+    if let Ok(k) = K::deserialize_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_value(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_value(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::new(format!("cannot deserialize map key from {s:?}")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.serialize_value())
+                        .expect("map keys must serialize to strings or integers");
+                    (key, v.serialize_value())
+                })
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error::new(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(42u64.serialize_value(), Value::UInt(42));
+        assert_eq!(u64::deserialize_value(&Value::UInt(42)).expect("u64"), 42);
+        assert_eq!((-3i64).serialize_value(), Value::Int(-3));
+        assert_eq!(f64::deserialize_value(&Value::Int(2)).expect("f64"), 2.0);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).expect("opt"),
+            None
+        );
+        assert!(u32::deserialize_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.5f64, 2.5];
+        let back = Vec::<f64>::deserialize_value(&v.serialize_value()).expect("vec");
+        assert_eq!(back, v);
+
+        let arr = [1u32, 2, 3];
+        let back = <[u32; 3]>::deserialize_value(&arr.serialize_value()).expect("arr");
+        assert_eq!(back, arr);
+        assert!(<[u32; 2]>::deserialize_value(&arr.serialize_value()).is_err());
+
+        let pair = (1u64, 2.5f64);
+        let back = <(u64, f64)>::deserialize_value(&pair.serialize_value()).expect("tuple");
+        assert_eq!(back, pair);
+    }
+
+    #[test]
+    fn missing_map_keys_read_as_null() {
+        let m = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(m.map_get("a"), &Value::UInt(1));
+        assert_eq!(m.map_get("b"), &Value::Null);
+    }
+}
