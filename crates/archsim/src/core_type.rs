@@ -430,6 +430,25 @@ impl Platform {
     pub fn cores_of_type(&self, r: CoreTypeId) -> Vec<CoreId> {
         self.cores().filter(|&c| self.core_type(c) == r).collect()
     }
+
+    /// Moves core type `r` to a new (frequency, voltage) operating
+    /// point in place — the platform half of a DVFS transition. The
+    /// scaled configuration is derived from the *current* one via
+    /// [`CoreConfig::at_operating_point`], so successive calls compose
+    /// from wherever the type currently sits.
+    ///
+    /// Callers that cache anything derived from the old configuration
+    /// (pipeline estimates, calibrated power models) must invalidate it;
+    /// `kernelsim::System::set_operating_point` wraps this with exactly
+    /// that bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range, or the operating point is not
+    /// strictly positive and finite.
+    pub fn set_type_operating_point(&mut self, r: CoreTypeId, freq_hz: f64, vdd: f64) {
+        self.types[r.0] = self.types[r.0].at_operating_point(freq_hz, vdd);
+    }
 }
 
 #[cfg(test)]
@@ -545,5 +564,21 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn bad_operating_point_rejected() {
         CoreConfig::big().at_operating_point(0.0, 0.8);
+    }
+
+    #[test]
+    fn set_type_operating_point_rescales_in_place() {
+        let mut p = Platform::quad_heterogeneous();
+        let before = p.type_config(CoreTypeId(1)).clone();
+        p.set_type_operating_point(CoreTypeId(1), 0.75e9, 0.65);
+        let after = p.type_config(CoreTypeId(1)).clone();
+        assert_eq!(after, before.at_operating_point(0.75e9, 0.65));
+        assert_eq!(
+            p.core_config(CoreId(1)),
+            &after,
+            "gamma still maps core 1 to type 1"
+        );
+        assert_eq!(p.type_config(CoreTypeId(0)), &CoreConfig::huge());
+        assert_eq!(p.type_config(CoreTypeId(3)), &CoreConfig::small());
     }
 }

@@ -65,6 +65,15 @@ pub fn run_slice(
     synthesize(workload, core, &est, duration_ns)
 }
 
+/// Rounds a non-negative event count to the nearest integer, half up.
+/// `f64::round()` is a libm call on baseline x86-64 and this routine
+/// runs ~14 times per synthesized slice; one add plus a truncating
+/// cast keeps slice synthesis out of the hot-loop profile.
+#[inline]
+fn round_count(x: f64) -> u64 {
+    (x + 0.5) as u64
+}
+
 /// Builds the slice result from a pre-computed pipeline estimate; split
 /// out so callers that sweep durations can amortize the model
 /// evaluation.
@@ -77,33 +86,34 @@ pub fn synthesize(
     let w = workload.clamped();
     let cycles = duration_ns as f64 * 1e-9 * core.freq_hz;
     let instructions_f = est.ipc * cycles;
-    let instructions = instructions_f.round() as u64;
+    let instructions = round_count(instructions_f);
 
     // Busy = cycles the retirement stage made forward progress at base
     // rate; the remainder of the active time is stall (idle) cycles.
     let busy = (instructions_f / est.base_ipc).min(cycles);
     let idle = (cycles - busy).max(0.0);
 
-    let mem_instructions = (instructions_f * w.mem_share).round() as u64;
-    let branch_instructions = (instructions_f * w.branch_share).round() as u64;
+    let mem_instructions = round_count(instructions_f * w.mem_share);
+    let branch_instructions = round_count(instructions_f * w.branch_share);
 
+    let cy_idle = round_count(idle);
     let counters = CounterSample {
-        cy_busy: busy.round() as u64,
-        cy_idle: idle.round() as u64,
-        cy_mem_stall: (instructions_f * est.cpi_mem_stall).round().min(idle) as u64,
+        cy_busy: round_count(busy),
+        cy_idle,
+        cy_mem_stall: round_count(instructions_f * est.cpi_mem_stall).min(cy_idle),
         cy_sleep: 0,
         instructions,
         mem_instructions,
         branch_instructions,
-        branch_mispredicts: (branch_instructions as f64 * est.branch_miss_rate).round() as u64,
+        branch_mispredicts: round_count(branch_instructions as f64 * est.branch_miss_rate),
         l1i_accesses: instructions,
-        l1i_misses: (instructions_f * est.l1i_miss_rate).round() as u64,
+        l1i_misses: round_count(instructions_f * est.l1i_miss_rate),
         l1d_accesses: mem_instructions,
-        l1d_misses: (mem_instructions as f64 * est.l1d_miss_rate).round() as u64,
+        l1d_misses: round_count(mem_instructions as f64 * est.l1d_miss_rate),
         itlb_accesses: instructions,
-        itlb_misses: (instructions_f * est.itlb_miss_rate).round() as u64,
+        itlb_misses: round_count(instructions_f * est.itlb_miss_rate),
         dtlb_accesses: mem_instructions,
-        dtlb_misses: (mem_instructions as f64 * est.dtlb_miss_rate).round() as u64,
+        dtlb_misses: round_count(mem_instructions as f64 * est.dtlb_miss_rate),
     };
 
     ExecutionSlice {
@@ -124,7 +134,15 @@ pub fn time_to_complete_ns(
     instructions: u64,
 ) -> u64 {
     let est = estimate(workload, core);
-    let ips = est.ipc * core.freq_hz;
+    time_to_complete_ns_with(&est, core.freq_hz, instructions)
+}
+
+/// [`time_to_complete_ns`] from a pre-computed pipeline estimate; the
+/// memoized scheduler hot path calls this so completion detection costs
+/// one division instead of a full model evaluation. The throughput is
+/// floored at 1 IPS so the division can never produce infinity.
+pub fn time_to_complete_ns_with(est: &PipelineEstimate, freq_hz: f64, instructions: u64) -> u64 {
+    let ips = (est.ipc * freq_hz).max(1.0);
     ((instructions as f64 / ips) * 1e9).ceil() as u64
 }
 

@@ -44,13 +44,17 @@ pub mod cache;
 pub mod core_type;
 pub mod counters;
 pub mod execution;
+pub mod memo;
 pub mod pipeline;
 pub mod sensing;
 pub mod workload;
 
 pub use core_type::{CoreConfig, CoreId, CoreTypeId, Platform};
 pub use counters::CounterSample;
-pub use execution::{run_slice, time_to_complete_ns, ExecutionSlice};
+pub use execution::{
+    run_slice, synthesize, time_to_complete_ns, time_to_complete_ns_with, ExecutionSlice,
+};
+pub use memo::{EstimateCache, EstimateKey};
 pub use pipeline::{estimate, PipelineEstimate};
 pub use sensing::{SensorBank, SensorInterface};
 pub use workload::WorkloadCharacteristics;

@@ -47,6 +47,10 @@ pub fn build_matrices(
     for (i, sense) in senses.iter().enumerate() {
         let src_type = platform.core_type(sense.core);
         let has_measurement = sense.fresh && sense.measured_ips > 0.0;
+        // One shared-inversion prediction row per thread (computed
+        // lazily: an all-measured thread never pays for it), then each
+        // column is a per-type table lookup.
+        let mut ipc_row: Option<Vec<f64>> = None;
         for (j, &dst_type) in core_types.iter().enumerate() {
             if has_measurement && dst_type == src_type {
                 m.set(
@@ -57,7 +61,10 @@ pub fn build_matrices(
                     true,
                 );
             } else {
-                let ipc = predictors.predict_ipc(&sense.features, src_type, dst_type);
+                let row = ipc_row.get_or_insert_with(|| {
+                    predictors.predict_ipc_by_type(&sense.features, src_type)
+                });
+                let ipc = row[dst_type.0];
                 let ips = ipc * platform.type_config(dst_type).freq_hz;
                 let p = predictors.predict_power_w(ipc, dst_type).max(1e-6);
                 m.set(i, j, ips, p, false);

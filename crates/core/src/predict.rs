@@ -124,11 +124,17 @@ pub fn infer_workload(features: &Features, src: &CoreConfig) -> WorkloadCharacte
     WorkloadCharacteristics { ilp, ..probe }.clamped()
 }
 
-/// The transformed regression basis for one (signature, src, dst)
-/// triple.
-fn transform(features: &Features, src: &CoreConfig, dst: &CoreConfig) -> [f64; NUM_COEFFS] {
-    let w = infer_workload(features, src);
-    let mech = estimate(&w, dst);
+/// The transformed regression basis for one (inverted signature, dst)
+/// pair. The inversion ([`infer_workload`]) is by far the expensive
+/// half of the transform — an estimate plus an iterative ILP solve —
+/// and depends only on (signature, src), so callers sweeping
+/// destination types invert once and project per type.
+fn transform_with(
+    w: &WorkloadCharacteristics,
+    features: &Features,
+    dst: &CoreConfig,
+) -> [f64; NUM_COEFFS] {
+    let mech = estimate(w, dst);
     let ipc_src = features[8].max(0.02);
     [
         1.0 / mech.ipc,
@@ -223,10 +229,17 @@ impl PredictorSet {
 
         let mut theta = vec![[0.0; NUM_COEFFS]; q * q];
         for src in 0..q {
+            // Invert each signature once per source type; the q
+            // destination fits below share the inversions.
+            let inversions: Vec<WorkloadCharacteristics> = signatures[src]
+                .iter()
+                .map(|f| infer_workload(f, &type_configs[src]))
+                .collect();
             for dst in 0..q {
-                let xs: Vec<[f64; NUM_COEFFS]> = signatures[src]
+                let xs: Vec<[f64; NUM_COEFFS]> = inversions
                     .iter()
-                    .map(|f| transform(f, &type_configs[src], &type_configs[dst]))
+                    .zip(signatures[src].iter())
+                    .map(|(w, f)| transform_with(w, f, &type_configs[dst]))
                     .collect();
                 let ys: Vec<f64> = corpus
                     .iter()
@@ -274,17 +287,45 @@ impl PredictorSet {
     /// Predicts the IPC a thread with signature `features` (sampled on
     /// a `src`-type core) would achieve on a `dst`-type core (Eq. 8),
     /// clamped to the physical range `[0.02, peak_ipc(dst)]`.
+    ///
+    /// Predicting for several destinations? [`Self::predict_ipc_by_type`]
+    /// computes the whole row for the cost of little more than one call.
     pub fn predict_ipc(&self, features: &Features, src: CoreTypeId, dst: CoreTypeId) -> f64 {
-        let row = self.theta(src, dst);
         let mut features = *features;
         if self.sparse {
             degrade_to_sparse(&mut features);
         }
-        let x = transform(
-            &features,
-            &self.type_configs[src.0],
-            &self.type_configs[dst.0],
-        );
+        let w = infer_workload(&features, &self.type_configs[src.0]);
+        self.ipc_from_inversion(&w, &features, src, dst)
+    }
+
+    /// Predicts the IPC on *every* core type at once: one entry per
+    /// destination type, indexed by `CoreTypeId`. The expensive
+    /// signature inversion is shared across the row, so filling a full
+    /// characterization matrix costs one inversion per thread instead
+    /// of one per (thread, core) cell. Each entry is bit-identical to
+    /// the corresponding [`Self::predict_ipc`] call.
+    pub fn predict_ipc_by_type(&self, features: &Features, src: CoreTypeId) -> Vec<f64> {
+        let mut features = *features;
+        if self.sparse {
+            degrade_to_sparse(&mut features);
+        }
+        let w = infer_workload(&features, &self.type_configs[src.0]);
+        (0..self.num_types())
+            .map(|d| self.ipc_from_inversion(&w, &features, src, CoreTypeId(d)))
+            .collect()
+    }
+
+    /// Eq. 8 from an already-degraded signature and its inversion.
+    fn ipc_from_inversion(
+        &self,
+        w: &WorkloadCharacteristics,
+        features: &Features,
+        src: CoreTypeId,
+        dst: CoreTypeId,
+    ) -> f64 {
+        let row = self.theta(src, dst);
+        let x = transform_with(w, features, &self.type_configs[dst.0]);
         let cpi: f64 = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         (1.0 / cpi.max(1.0e-3)).clamp(0.02, self.type_configs[dst.0].peak_ipc)
     }
@@ -543,6 +584,25 @@ mod tests {
             let ipc = pred.predict_ipc(&feats, CoreTypeId(0), CoreTypeId(d));
             assert!(ipc <= platform.type_config(CoreTypeId(d)).peak_ipc);
             assert!(ipc >= 0.02);
+        }
+    }
+
+    #[test]
+    fn row_prediction_matches_single_calls_bitwise() {
+        let (platform, pred) = trained();
+        let w = WorkloadCharacteristics::memory_bound();
+        let src_cfg = platform.type_config(CoreTypeId(2));
+        let slice = run_slice(&w, src_cfg, TRAIN_SLICE_NS);
+        let feats = features_from_counters(&slice.counters, src_cfg.freq_hz);
+        let row = pred.predict_ipc_by_type(&feats, CoreTypeId(2));
+        assert_eq!(row.len(), 4);
+        for (d, &ipc) in row.iter().enumerate() {
+            let single = pred.predict_ipc(&feats, CoreTypeId(2), CoreTypeId(d));
+            assert_eq!(
+                single.to_bits(),
+                ipc.to_bits(),
+                "shared-inversion row must be bit-identical (dst {d})"
+            );
         }
     }
 

@@ -2,13 +2,14 @@
 //!
 //! A faithful functional model of the Linux Completely Fair Scheduler's
 //! per-CPU queue: tasks are ordered by virtual runtime (the kernel uses
-//! a red-black tree; a `BTreeSet` gives the same O(log n) ordered-set
-//! semantics), `pick_next` returns the smallest-vruntime task, each
-//! task's timeslice within a scheduling period is proportional to its
-//! load weight, and newly enqueued tasks inherit the queue's
-//! `min_vruntime` so sleepers can't hoard unbounded credit.
-
-use std::collections::BTreeSet;
+//! a red-black tree; a sorted `Vec` gives the same ordered-set
+//! semantics, and at per-core runnable counts the O(n) insert is a
+//! single cache-resident memmove — measurably faster than a node-based
+//! tree on the slice-dispatch hot path), `pick_next` returns the
+//! smallest-vruntime task, each task's timeslice within a scheduling
+//! period is proportional to its load weight, and newly enqueued tasks
+//! inherit the queue's `min_vruntime` so sleepers can't hoard unbounded
+//! credit.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,8 +34,8 @@ pub const MIN_GRANULARITY_NS: u64 = 750_000;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CfsRunQueue {
-    /// Ordered by (vruntime, id) for deterministic tie-breaks.
-    queue: BTreeSet<(u64, TaskId)>,
+    /// Sorted ascending by (vruntime, id) for deterministic tie-breaks.
+    queue: Vec<(u64, TaskId)>,
     total_weight: u64,
     min_vruntime: u64,
 }
@@ -77,8 +78,10 @@ impl CfsRunQueue {
     pub fn enqueue(&mut self, task: TaskId, vruntime_ns: u64, weight: u64) -> u64 {
         assert!(weight > 0, "task weight must be positive");
         let v = vruntime_ns.max(self.min_vruntime);
-        let inserted = self.queue.insert((v, task));
-        assert!(inserted, "task {task} already on the run queue");
+        match self.queue.binary_search(&(v, task)) {
+            Ok(_) => panic!("task {task} already on the run queue"),
+            Err(pos) => self.queue.insert(pos, (v, task)),
+        }
         self.total_weight += weight;
         v
     }
@@ -86,17 +89,20 @@ impl CfsRunQueue {
     /// Removes `task` (with the vruntime it is keyed under). Returns
     /// `true` if it was present.
     pub fn dequeue(&mut self, task: TaskId, vruntime_ns: u64, weight: u64) -> bool {
-        let removed = self.queue.remove(&(vruntime_ns, task));
-        if removed {
-            self.total_weight = self.total_weight.saturating_sub(weight);
+        match self.queue.binary_search(&(vruntime_ns, task)) {
+            Ok(pos) => {
+                self.queue.remove(pos);
+                self.total_weight = self.total_weight.saturating_sub(weight);
+                true
+            }
+            Err(_) => false,
         }
-        removed
     }
 
     /// The next task to run: smallest vruntime (ties broken by id).
     /// Does not remove it.
     pub fn pick_next(&self) -> Option<TaskId> {
-        self.queue.iter().next().map(|&(_, t)| t)
+        self.queue.first().map(|&(_, t)| t)
     }
 
     /// Updates the queue's `min_vruntime` floor after `leftmost_v` has

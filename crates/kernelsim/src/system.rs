@@ -8,7 +8,13 @@
 //! — the sense phase — hands it to the pluggable balancer, and applies
 //! the returned allocation through the migration path.
 
-use archsim::{estimate, run_slice, CoreId, CounterSample, Platform, SensorBank};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use archsim::{
+    synthesize, time_to_complete_ns_with, CoreId, CoreTypeId, CounterSample, EstimateCache,
+    EstimateKey, Platform, SensorBank,
+};
 use mcpat::{EnergyMeter, PowerState};
 use serde::{Deserialize, Serialize};
 use workloads::WorkloadProfile;
@@ -97,6 +103,20 @@ pub struct System {
     core_epoch: Vec<CoreEpochAccum>,
     total_migrations: u64,
     tracer: Tracer,
+    /// Memoized pipeline-model evaluations for the dispatch hot path.
+    estimates: EstimateCache,
+    /// Per-core-type DVFS generation counter; part of every cache key,
+    /// bumped by [`System::set_operating_point`] so an operating-point
+    /// change can never serve a stale estimate.
+    dvfs_level: Vec<u32>,
+    /// Per-core min-heap of pending `(wake_at_ns, task)` events, with
+    /// lazy deletion: migration and re-sleep leave stale entries that
+    /// are dropped when popped. Replaces the O(tasks) scan the idle
+    /// path and slice bounding used to perform per slice.
+    wake_heaps: Vec<BinaryHeap<Reverse<(u64, TaskId)>>>,
+    /// Scheduling slices dispatched since boot (hot-loop throughput
+    /// denominator for the perf harness).
+    total_slices: u64,
 }
 
 impl System {
@@ -117,6 +137,7 @@ impl System {
             "migration activity must be in [0, 1]"
         );
         let n = platform.num_cores();
+        let q = platform.num_types();
         let meter = EnergyMeter::new(&platform);
         let sensors = SensorBank::new(&platform);
         System {
@@ -131,6 +152,10 @@ impl System {
             core_epoch: vec![CoreEpochAccum::default(); n],
             total_migrations: 0,
             tracer: Tracer::default(),
+            estimates: EstimateCache::new(),
+            dvfs_level: vec![0; q],
+            wake_heaps: vec![BinaryHeap::new(); n],
+            total_slices: 0,
         }
     }
 
@@ -239,6 +264,8 @@ impl System {
         if matches!(task.state(), TaskState::Runnable) {
             let v = self.queues[core.0].enqueue(id, task.vruntime_ns, task.weight());
             task.vruntime_ns = v;
+        } else if let TaskState::Sleeping { wake_at_ns } = task.state() {
+            self.wake_heaps[core.0].push(Reverse((wake_at_ns, id)));
         }
         self.tasks.push(task);
         self.tracer.record(TraceEvent::Spawn {
@@ -316,29 +343,37 @@ impl System {
         let mut t = start_ns;
         while t < end_ns {
             self.wake_due(core, t);
+            // One heap peek covers both the idle path and the slice
+            // bound below (after wake_due every pending wake is > t).
+            let next_wake = self.next_wake_ns(core);
             let Some(tid) = self.queues[core.0].pick_next() else {
                 // No runnable task: power-gate until the next wake-up
                 // (or the end of the period).
-                let next = self
-                    .next_wake_ns(core)
-                    .map_or(end_ns, |w| w.clamp(t + 1, end_ns));
+                let next = next_wake.map_or(end_ns, |w| w.clamp(t + 1, end_ns));
                 self.account_sleep(core, next - t);
                 t = next;
                 continue;
             };
-            let slice_ns = self.slice_bound(core, tid, t, end_ns);
+            let slice_ns = self.slice_bound(core, tid, t, end_ns, next_wake);
             let ran = self.dispatch(core, tid, t, slice_ns);
             t += ran.max(1);
         }
     }
 
     /// Upper bound for the next slice of `tid` on `core` at time `t`.
-    fn slice_bound(&self, core: CoreId, tid: TaskId, t: u64, end_ns: u64) -> u64 {
+    fn slice_bound(
+        &self,
+        core: CoreId,
+        tid: TaskId,
+        t: u64,
+        end_ns: u64,
+        next_wake: Option<u64>,
+    ) -> u64 {
         let rq = &self.queues[core.0];
         let weight = self.tasks[tid.0].weight();
         let mut slice = rq.timeslice_ns(weight, self.config.period_ns);
         // Serve imminent wake-ups promptly (poor man's wake preemption).
-        if let Some(w) = self.next_wake_ns(core) {
+        if let Some(w) = next_wake {
             if w > t {
                 slice = slice.min(w - t);
             }
@@ -349,7 +384,7 @@ impl System {
 
     /// Runs `tid` on `core` for at most `max_ns`; returns actual time.
     fn dispatch(&mut self, core: CoreId, tid: TaskId, t: u64, max_ns: u64) -> u64 {
-        let cfg = self.platform.core_config(core).clone();
+        let freq_hz = self.platform.core_config(core).freq_hz;
         let weight = self.tasks[tid.0].weight();
         let vruntime = self.tasks[tid.0].vruntime_ns;
         self.queues[core.0].dequeue(tid, vruntime, weight);
@@ -361,7 +396,7 @@ impl System {
             let debt = self.tasks[tid.0].migration_debt_ns;
             if debt > 0 {
                 let pay = debt.min(max_ns);
-                let cycles = (pay as f64 * 1e-9 * cfg.freq_hz).round() as u64;
+                let cycles = (pay as f64 * 1e-9 * freq_hz).round() as u64;
                 let counters = CounterSample {
                     cy_idle: cycles,
                     ..Default::default()
@@ -379,28 +414,37 @@ impl System {
             }
         }
 
-        // 2. Useful execution for the remaining time.
+        // 2. Useful execution for the remaining time. The pipeline
+        // model is evaluated at most once per (task phase, core type,
+        // DVFS level) — every later slice replays the memoized
+        // estimate, bit-identically (the model is pure).
         if consumed < max_ns {
             let budget_ns = max_ns - consumed;
-            let task = &self.tasks[tid.0];
-            let w = *task.profile().characteristics_at(task.progress());
-            let est = estimate(&w, &cfg);
-            let ips = (est.ipc * cfg.freq_hz).max(1.0);
+            let (phase, w, rem_phase) = self.tasks[tid.0].phase_view();
+            let core_type = self.platform.core_type(core);
+            let key = EstimateKey {
+                workload_id: tid.0 as u64,
+                phase: phase as u32,
+                core_type: core_type.0 as u32,
+                dvfs_level: self.dvfs_level[core_type.0],
+            };
+            let est = self
+                .estimates
+                .get_or_compute(key, &w, self.platform.core_config(core));
 
             // Bound the slice so it stays within the current phase, the
             // current interactive burst and the profile end.
-            let mut max_instr = task
-                .profile()
-                .remaining_in_phase(task.progress())
+            let task = &self.tasks[tid.0];
+            let mut max_instr = rem_phase
                 .unwrap_or(u64::MAX)
                 .min(task.remaining_instructions().max(1));
             if let Some(burst) = task.remaining_burst() {
                 max_instr = max_instr.min(burst);
             }
-            let time_for_max = ((max_instr as f64 / ips) * 1e9).ceil() as u64;
+            let time_for_max = time_to_complete_ns_with(&est, freq_hz, max_instr);
             let work_ns = budget_ns.min(time_for_max).max(1);
 
-            let slice = run_slice(&w, &cfg, work_ns);
+            let slice = synthesize(&w, self.platform.core_config(core), &est, work_ns);
             let instr = slice.instructions.min(max_instr);
             let energy = self.meter.accumulate(
                 core,
@@ -411,6 +455,7 @@ impl System {
             );
             self.charge(core, tid, slice.counters, work_ns, energy);
             consumed += work_ns;
+            self.total_slices += 1;
 
             // 3. State transitions.
             let now = t + consumed;
@@ -420,6 +465,7 @@ impl System {
             task.total_instructions += instr;
             task.epoch.slices += 1;
 
+            let mut exited = false;
             if task.progress >= task.profile().total_instructions() {
                 if task.is_repeating() {
                     task.iterations += 1;
@@ -428,11 +474,16 @@ impl System {
                 } else {
                     task.state = TaskState::Exited;
                     task.exited_at_ns = Some(now);
-                    self.tracer.record(TraceEvent::Exit {
-                        at_ns: now,
-                        task: tid,
-                    });
+                    exited = true;
                 }
+            }
+            if exited {
+                self.tracer.record(TraceEvent::Exit {
+                    at_ns: now,
+                    task: tid,
+                });
+                // The task can never be dispatched again.
+                self.estimates.invalidate_workload(tid.0 as u64);
             }
             let task = &mut self.tasks[tid.0];
             if !task.is_exited() {
@@ -441,6 +492,7 @@ impl System {
                         task.burst_progress = 0;
                         let wake_at_ns = now + pattern.sleep_ns;
                         task.state = TaskState::Sleeping { wake_at_ns };
+                        self.wake_heaps[core.0].push(Reverse((wake_at_ns, tid)));
                         self.tracer.record(TraceEvent::Sleep {
                             at_ns: now,
                             task: tid,
@@ -511,38 +563,46 @@ impl System {
         self.sensors.record(core, counters, energy, duration_ns);
     }
 
+    /// Whether a heap entry still describes a live sleep on `core`.
+    /// Migration and duplicate pushes leave entries behind whose task
+    /// has since moved, woken or re-slept; those match on none of the
+    /// three conditions and are dropped where they are popped.
+    fn wake_entry_valid(&self, core: CoreId, wake_ns: u64, tid: TaskId) -> bool {
+        let task = &self.tasks[tid.0];
+        task.core() == core
+            && matches!(task.state, TaskState::Sleeping { wake_at_ns } if wake_at_ns == wake_ns)
+    }
+
     fn wake_due(&mut self, core: CoreId, t: u64) {
-        for i in 0..self.tasks.len() {
-            let task = &self.tasks[i];
-            if task.core() != core {
-                continue;
+        while let Some(&Reverse((wake_ns, tid))) = self.wake_heaps[core.0].peek() {
+            if wake_ns > t {
+                break;
             }
-            if let TaskState::Sleeping { wake_at_ns } = task.state {
-                if wake_at_ns <= t {
-                    let tid = task.id();
-                    let weight = task.weight();
-                    let vr = task.vruntime_ns;
-                    self.tasks[i].state = TaskState::Runnable;
-                    let v = self.queues[core.0].enqueue(tid, vr, weight);
-                    self.tasks[i].vruntime_ns = v;
-                    self.tracer.record(TraceEvent::Wake {
-                        at_ns: t,
-                        task: tid,
-                    });
-                }
+            self.wake_heaps[core.0].pop();
+            if !self.wake_entry_valid(core, wake_ns, tid) {
+                continue; // lazy deletion of a stale entry
             }
+            let task = &self.tasks[tid.0];
+            let weight = task.weight();
+            let vr = task.vruntime_ns;
+            self.tasks[tid.0].state = TaskState::Runnable;
+            let v = self.queues[core.0].enqueue(tid, vr, weight);
+            self.tasks[tid.0].vruntime_ns = v;
+            self.tracer.record(TraceEvent::Wake {
+                at_ns: t,
+                task: tid,
+            });
         }
     }
 
-    fn next_wake_ns(&self, core: CoreId) -> Option<u64> {
-        self.tasks
-            .iter()
-            .filter(|t| t.core() == core)
-            .filter_map(|t| match t.state {
-                TaskState::Sleeping { wake_at_ns } => Some(wake_at_ns),
-                _ => None,
-            })
-            .min()
+    fn next_wake_ns(&mut self, core: CoreId) -> Option<u64> {
+        while let Some(&Reverse((wake_ns, tid))) = self.wake_heaps[core.0].peek() {
+            if self.wake_entry_valid(core, wake_ns, tid) {
+                return Some(wake_ns);
+            }
+            self.wake_heaps[core.0].pop(); // lazy deletion
+        }
+        None
     }
 
     // ------------------------------------------------------------------
@@ -619,6 +679,12 @@ impl System {
             task.migration_debt_ns += self.config.migration_cost_ns;
             task.migrations += 1;
             self.total_migrations += 1;
+            // A sleeping migrant must be woken by its *new* core; the
+            // entry left on the old core's heap goes stale and is
+            // lazily dropped.
+            if let TaskState::Sleeping { wake_at_ns } = state {
+                self.wake_heaps[target.0].push(Reverse((wake_at_ns, tid)));
+            }
             self.tracer.record(TraceEvent::Migrate {
                 at_ns: self.now_ns,
                 task: tid,
@@ -650,6 +716,45 @@ impl System {
     /// Total migrations performed since boot.
     pub fn total_migrations(&self) -> u64 {
         self.total_migrations
+    }
+
+    /// Total scheduling slices dispatched since boot.
+    pub fn total_slices(&self) -> u64 {
+        self.total_slices
+    }
+
+    /// Moves every core of type `r` to a new (frequency, voltage)
+    /// operating point — a DVFS transition. Atomically with the
+    /// platform change this bumps the type's DVFS generation (part of
+    /// every estimate-cache key), drops the type's cached estimates,
+    /// and recalibrates the power model of each affected core, so no
+    /// stale characterization can survive the switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range, or the operating point is not
+    /// strictly positive and finite.
+    pub fn set_operating_point(&mut self, r: CoreTypeId, freq_hz: f64, vdd: f64) {
+        self.platform.set_type_operating_point(r, freq_hz, vdd);
+        self.dvfs_level[r.0] = self.dvfs_level[r.0].wrapping_add(1);
+        self.estimates.invalidate_core_type(r.0 as u32);
+        for c in self.platform.cores_of_type(r) {
+            self.meter.recalibrate(c, self.platform.core_config(c));
+        }
+    }
+
+    /// Enables or disables estimate memoization (enabled by default).
+    /// The disabled path re-evaluates the pipeline model on every
+    /// slice; it exists so parity tests can prove both paths produce
+    /// bit-identical simulations.
+    pub fn set_estimate_caching(&mut self, enabled: bool) {
+        self.estimates.set_enabled(enabled);
+    }
+
+    /// The dispatch estimate cache (hit/miss telemetry for the perf
+    /// harness).
+    pub fn estimate_cache(&self) -> &EstimateCache {
+        &self.estimates
     }
 
     pub(crate) fn meter(&self) -> &EnergyMeter {
@@ -928,6 +1033,77 @@ mod tests {
         // CSV export includes headers and the migration line.
         let csv = sys.tracer().to_csv();
         assert!(csv.contains("migrate"));
+    }
+
+    #[test]
+    fn sleeping_migrant_wakes_on_new_core() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        // A short burst then a long sleep, so the task is asleep when
+        // the allocation is applied at the epoch boundary.
+        let p = cpu_profile(1_000_000_000).with_sleep(SleepPattern::new(1_000_000, 80_000_000));
+        let tid = sys.spawn_on(p, CoreId(0));
+        let mut nb = NullBalancer;
+        sys.run_epoch(&mut nb);
+        assert!(
+            matches!(sys.task(tid).state(), TaskState::Sleeping { .. }),
+            "test premise: task asleep at the boundary"
+        );
+        let mut alloc = Allocation::new();
+        alloc.assign(tid, CoreId(2));
+        sys.apply_allocation(&alloc);
+        let report = sys.run_epoch(&mut nb);
+        let rt = report.tasks.iter().find(|t| t.task == tid).expect("t");
+        assert_eq!(rt.core, CoreId(2));
+        assert!(
+            rt.counters.instructions > 0,
+            "task must wake and run on its new core"
+        );
+    }
+
+    #[test]
+    fn total_slices_counts_dispatches() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        assert_eq!(sys.total_slices(), 0);
+        let mut nb = NullBalancer;
+        sys.run_epoch(&mut nb);
+        sys.run_epoch(&mut nb);
+        assert!(sys.total_slices() > 4, "both tasks sliced repeatedly");
+        let cache = sys.estimate_cache();
+        assert_eq!(cache.hits() + cache.misses(), sys.total_slices());
+        // Two single-phase tasks on one core type: exactly two misses.
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.hit_rate() > 0.9, "steady phases should mostly hit");
+    }
+
+    #[test]
+    fn dvfs_change_invalidates_estimates_and_slows_core() {
+        let run = |dvfs: bool, cached: bool| {
+            let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+            sys.set_estimate_caching(cached);
+            sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(1));
+            let mut nb = NullBalancer;
+            sys.run_epoch(&mut nb);
+            if dvfs {
+                sys.set_operating_point(archsim::CoreTypeId(1), 0.75e9, 0.65);
+            }
+            sys.run_epoch(&mut nb);
+            (
+                sys.sensors().total_instructions(),
+                sys.sensors().total_energy_j().to_bits(),
+            )
+        };
+        let (instr_base, _) = run(false, true);
+        let (instr_dvfs, energy_dvfs) = run(true, true);
+        assert!(
+            instr_dvfs < instr_base,
+            "halving the Big core's clock must reduce committed work \
+             ({instr_dvfs} !< {instr_base}): stale cached estimate?"
+        );
+        // The cached run of the DVFS scenario must equal the uncached
+        // one bit-for-bit — invalidation leaves no stale entries.
+        assert_eq!((instr_dvfs, energy_dvfs), run(true, false));
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! (vruntime, weight, affinity), interactivity bookkeeping and the
 //! per-epoch accounting the sensing phase samples at context switches.
 
-use archsim::{CoreId, CounterSample};
+use archsim::{CoreId, CounterSample, WorkloadCharacteristics};
 use serde::{Deserialize, Serialize};
-use workloads::WorkloadProfile;
+use workloads::{PhaseCursor, WorkloadProfile};
 
 /// Task identifier (a PID in kernel terms). Dense indices into the
 /// system's task table.
@@ -126,6 +126,12 @@ pub struct Task {
     pub(crate) migrations: u64,
     /// Per-epoch accounting (reset each epoch).
     pub(crate) epoch: TaskEpochAccounting,
+    /// Memoized phase position: progress is monotone within a profile
+    /// iteration, so phase lookups through this cursor are O(1)
+    /// amortized instead of O(phases). Pure acceleration state: it
+    /// rewinds itself whenever progress moves backwards (profile
+    /// restart), so any cursor position yields correct lookups.
+    pub(crate) phase_cursor: PhaseCursor,
 }
 
 impl Task {
@@ -151,6 +157,7 @@ impl Task {
             total_instructions: 0,
             migrations: 0,
             epoch: TaskEpochAccounting::default(),
+            phase_cursor: PhaseCursor::new(),
         }
     }
 
@@ -299,6 +306,28 @@ impl Task {
             .saturating_sub(self.progress)
     }
 
+    /// Resolves the task's current execution phase through its memoized
+    /// cursor: `(phase index, characteristics, instructions left in the
+    /// phase)`. The remaining count is `None` once the profile is
+    /// complete, mirroring [`WorkloadProfile::remaining_in_phase`].
+    ///
+    /// Takes `&mut self` only to advance the cursor; observable task
+    /// state is untouched and the result is identical to the O(phases)
+    /// scans `characteristics_at`/`remaining_in_phase` perform.
+    pub fn phase_view(&mut self) -> (usize, WorkloadCharacteristics, Option<u64>) {
+        let progress = self.progress;
+        let idx = self
+            .profile
+            .phase_index_at(&mut self.phase_cursor, progress);
+        let w = *self
+            .profile
+            .characteristics_with(&mut self.phase_cursor, progress);
+        let remaining = self
+            .profile
+            .remaining_in_phase_with(&mut self.phase_cursor, progress);
+        (idx, w, remaining)
+    }
+
     /// Remaining instructions before the next sleep, if the task is
     /// interactive; `None` for fully CPU-bound tasks.
     pub fn remaining_burst(&self) -> Option<u64> {
@@ -376,6 +405,33 @@ mod tests {
         it.burst_progress = 100;
         // Never returns zero (forces forward progress).
         assert_eq!(it.remaining_burst(), Some(1));
+    }
+
+    #[test]
+    fn phase_view_matches_linear_scans() {
+        use workloads::Phase;
+        let p = WorkloadProfile::new(
+            "multi",
+            vec![
+                Phase::new(WorkloadCharacteristics::compute_bound(), 500),
+                Phase::new(WorkloadCharacteristics::memory_bound(), 300),
+                Phase::new(WorkloadCharacteristics::branch_bound(), 200),
+            ],
+        );
+        let mut t = Task::new(TaskId(0), p.clone(), CoreId(0));
+        for progress in [0, 1, 499, 500, 700, 799, 800, 999, 1000, 1500] {
+            t.progress = progress;
+            let (_, w, rem) = t.phase_view();
+            assert_eq!(&w, p.characteristics_at(progress), "progress {progress}");
+            assert_eq!(rem, p.remaining_in_phase(progress), "progress {progress}");
+        }
+        // A repeating task restarting its profile rewinds the cursor.
+        t.progress = 900;
+        t.phase_view();
+        t.progress = 0;
+        let (idx, _, rem) = t.phase_view();
+        assert_eq!(idx, 0);
+        assert_eq!(rem, Some(500));
     }
 
     #[test]

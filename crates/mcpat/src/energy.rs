@@ -55,6 +55,18 @@ impl EnergyMeter {
         &self.models[core.0]
     }
 
+    /// Replaces `core`'s power model with one calibrated for `config`
+    /// — the meter half of a DVFS transition. Energy and residency
+    /// accumulated so far are preserved; only future integration uses
+    /// the new operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn recalibrate(&mut self, core: CoreId, config: &archsim::CoreConfig) {
+        self.models[core.0] = CorePowerModel::calibrated(config);
+    }
+
     /// Integrates `duration_ns` of core `core` spent in `state`,
     /// returning the energy added in joules.
     ///
@@ -149,6 +161,30 @@ mod tests {
         // Big core: 1.41 J for 1e9 instructions -> ~7.09e8 instr/J.
         let eff = m.instructions_per_joule(1_000_000_000);
         assert!((eff - 1e9 / 1.41).abs() / eff < 1e-9);
+    }
+
+    #[test]
+    fn recalibrate_switches_future_power_only() {
+        let p = Platform::quad_heterogeneous();
+        let mut m = EnergyMeter::new(&p);
+        m.accumulate(
+            CoreId(1),
+            PowerState::Active { activity: 1.0 },
+            1_000_000_000,
+        );
+        let before = m.core_energy_j(CoreId(1)); // Big at peak: 1.41 J
+        let slow = archsim::CoreConfig::big().at_operating_point(0.75e9, 0.65);
+        m.recalibrate(CoreId(1), &slow);
+        assert_eq!(m.core_energy_j(CoreId(1)), before, "history preserved");
+        let added = m.accumulate(
+            CoreId(1),
+            PowerState::Active { activity: 1.0 },
+            1_000_000_000,
+        );
+        assert!(
+            (added - slow.peak_power_w).abs() < 1e-9,
+            "future energy integrates the new operating point"
+        );
     }
 
     #[test]

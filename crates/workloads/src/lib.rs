@@ -31,5 +31,5 @@ pub mod synthetic;
 
 pub use imb::{ImbConfig, Level};
 pub use mixes::MixId;
-pub use profile::{Phase, SleepPattern, WorkloadProfile};
+pub use profile::{Phase, PhaseCursor, SleepPattern, WorkloadProfile};
 pub use synthetic::SyntheticGenerator;

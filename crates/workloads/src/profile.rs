@@ -67,6 +67,37 @@ impl SleepPattern {
     }
 }
 
+/// Cursor memoizing the phase a task is currently executing, so that
+/// repeated phase lookups under monotone progress are O(1) amortized
+/// instead of O(phases) per call.
+///
+/// The cursor caches `(index, start)` of the last phase served and
+/// walks forward from there; when progress moved backwards (a
+/// repeating task restarting its profile) it rewinds and rescans from
+/// phase 0. It therefore never changes lookup *results*, only their
+/// cost. A cursor is tied to the profile it was advanced on — reuse
+/// against a different profile is a logic error (each task owns one
+/// cursor for its own profile).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCursor {
+    /// Index of the cached phase.
+    index: usize,
+    /// Instructions consumed by all phases before `index`.
+    start: u64,
+}
+
+impl PhaseCursor {
+    /// A cursor positioned at the first phase.
+    pub fn new() -> Self {
+        PhaseCursor::default()
+    }
+
+    /// Index of the phase the cursor last resolved.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
 /// A complete workload profile for one thread.
 ///
 /// # Examples
@@ -102,7 +133,11 @@ impl WorkloadProfile {
     /// Panics if `phases` is empty.
     pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
         assert!(!phases.is_empty(), "a profile needs at least one phase");
-        let total = phases.iter().map(|p| p.instructions).sum();
+        // Saturating: a profile of deliberately huge phases (u64::MAX
+        // sentinels for "runs forever") must not wrap the total.
+        let total = phases
+            .iter()
+            .fold(0u64, |acc, p| acc.saturating_add(p.instructions));
         WorkloadProfile {
             name: name.into(),
             phases,
@@ -150,30 +185,55 @@ impl WorkloadProfile {
     /// instructions. Progress at or past the end returns the last
     /// phase's characteristics.
     pub fn characteristics_at(&self, progress: u64) -> &WorkloadCharacteristics {
-        let mut consumed = 0u64;
-        for phase in &self.phases {
-            consumed = consumed.saturating_add(phase.instructions);
-            if progress < consumed {
-                return &phase.characteristics;
-            }
-        }
-        &self.phases[self.phases.len() - 1].characteristics
+        let mut cursor = PhaseCursor::new();
+        &self.phases[self.phase_index_at(&mut cursor, progress)].characteristics
     }
 
     /// Instructions remaining in the phase active at `progress`
     /// (`None` once the profile is complete).
     pub fn remaining_in_phase(&self, progress: u64) -> Option<u64> {
+        let mut cursor = PhaseCursor::new();
+        self.remaining_in_phase_with(&mut cursor, progress)
+    }
+
+    /// Index of the phase active at `progress`, advancing `cursor` so
+    /// the next lookup under monotone progress is O(1) amortized.
+    /// Progress at or past the end resolves to the last phase.
+    pub fn phase_index_at(&self, cursor: &mut PhaseCursor, progress: u64) -> usize {
+        // Progress moved backwards (profile restart) or the cursor
+        // belongs to another profile: rewind and rescan.
+        if progress < cursor.start || cursor.index >= self.phases.len() {
+            *cursor = PhaseCursor::new();
+        }
+        loop {
+            let end = cursor
+                .start
+                .saturating_add(self.phases[cursor.index].instructions);
+            if progress < end || cursor.index + 1 == self.phases.len() {
+                return cursor.index;
+            }
+            cursor.start = end;
+            cursor.index += 1;
+        }
+    }
+
+    /// Cursor-accelerated [`WorkloadProfile::characteristics_at`].
+    pub fn characteristics_with(
+        &self,
+        cursor: &mut PhaseCursor,
+        progress: u64,
+    ) -> &WorkloadCharacteristics {
+        &self.phases[self.phase_index_at(cursor, progress)].characteristics
+    }
+
+    /// Cursor-accelerated [`WorkloadProfile::remaining_in_phase`].
+    pub fn remaining_in_phase_with(&self, cursor: &mut PhaseCursor, progress: u64) -> Option<u64> {
         if progress >= self.total_instructions {
             return None;
         }
-        let mut consumed = 0u64;
-        for phase in &self.phases {
-            consumed += phase.instructions;
-            if progress < consumed {
-                return Some(consumed - progress);
-            }
-        }
-        None
+        let idx = self.phase_index_at(cursor, progress);
+        let end = cursor.start.saturating_add(self.phases[idx].instructions);
+        Some(end - progress)
     }
 
     /// Scales every phase length by `factor`, preserving the phase
@@ -379,6 +439,80 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn scaled_rejects_zero_factor() {
         WorkloadProfile::uniform("z", WorkloadCharacteristics::balanced(), 10).scaled(0.0);
+    }
+
+    #[test]
+    fn cursor_lookup_matches_scan_everywhere() {
+        let p = WorkloadProfile::new(
+            "c",
+            vec![
+                Phase::new(WorkloadCharacteristics::compute_bound(), 100),
+                Phase::new(WorkloadCharacteristics::memory_bound(), 1),
+                Phase::new(WorkloadCharacteristics::branch_bound(), 250),
+            ],
+        );
+        let mut cursor = PhaseCursor::new();
+        for progress in 0..400 {
+            assert_eq!(
+                p.characteristics_with(&mut cursor, progress),
+                p.characteristics_at(progress),
+                "progress {progress}"
+            );
+            assert_eq!(
+                p.remaining_in_phase_with(&mut cursor, progress),
+                p.remaining_in_phase(progress),
+                "progress {progress}"
+            );
+        }
+        assert_eq!(cursor.index(), 2);
+    }
+
+    #[test]
+    fn cursor_rewinds_on_backwards_progress() {
+        let p = two_phase();
+        let mut cursor = PhaseCursor::new();
+        assert_eq!(p.phase_index_at(&mut cursor, 250), 1);
+        // A repeating task restarts its profile: progress drops to 0.
+        assert_eq!(p.phase_index_at(&mut cursor, 0), 0);
+        assert_eq!(p.remaining_in_phase_with(&mut cursor, 0), Some(100));
+    }
+
+    #[test]
+    fn cursor_past_end_resolves_to_last_phase() {
+        let p = two_phase();
+        let mut cursor = PhaseCursor::new();
+        assert_eq!(p.phase_index_at(&mut cursor, 300), 1);
+        assert_eq!(p.phase_index_at(&mut cursor, u64::MAX), 1);
+        assert_eq!(p.remaining_in_phase_with(&mut cursor, 300), None);
+    }
+
+    #[test]
+    fn overflow_boundary_saturates() {
+        // Cumulative phase sums beyond u64::MAX must saturate, not
+        // wrap: the huge phase absorbs all progress below u64::MAX.
+        let p = WorkloadProfile::new(
+            "huge",
+            vec![
+                Phase::new(WorkloadCharacteristics::compute_bound(), u64::MAX - 10),
+                Phase::new(WorkloadCharacteristics::memory_bound(), 1_000),
+            ],
+        );
+        assert_eq!(p.total_instructions(), u64::MAX);
+        assert_eq!(
+            *p.characteristics_at(u64::MAX - 11),
+            WorkloadCharacteristics::compute_bound()
+        );
+        assert_eq!(
+            *p.characteristics_at(u64::MAX - 5),
+            WorkloadCharacteristics::memory_bound()
+        );
+        assert_eq!(p.remaining_in_phase(u64::MAX - 11), Some(1));
+        // Inside the saturated tail phase: remaining is clamped to the
+        // saturated end, never a wrapped tiny value.
+        assert_eq!(p.remaining_in_phase(u64::MAX - 10), Some(10));
+        assert_eq!(p.remaining_in_phase(u64::MAX), None);
+        let mut cursor = PhaseCursor::new();
+        assert_eq!(p.phase_index_at(&mut cursor, u64::MAX - 1), 1);
     }
 
     #[test]
