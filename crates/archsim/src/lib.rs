@@ -38,12 +38,14 @@
 //! - [`cache`], [`branch`], [`pipeline`]: the analytical models
 //! - [`execution`]: slice execution (the scheduler-facing API)
 //! - [`sensing`]: the counter/power sensor bank the OS samples
+//! - [`faults`]: deterministic seeded sensor fault injection
 
 pub mod branch;
 pub mod cache;
 pub mod core_type;
 pub mod counters;
 pub mod execution;
+pub mod faults;
 pub mod memo;
 pub mod pipeline;
 pub mod sensing;
@@ -53,6 +55,10 @@ pub use core_type::{CoreConfig, CoreId, CoreTypeId, Platform};
 pub use counters::CounterSample;
 pub use execution::{
     run_slice, synthesize, time_to_complete_ns, time_to_complete_ns_with, ExecutionSlice,
+};
+pub use faults::{
+    FaultAction, FaultClass, FaultEvent, FaultHarness, FaultKind, FaultPlan, FaultStats,
+    FaultySensorBank,
 };
 pub use memo::{EstimateCache, EstimateKey};
 pub use pipeline::{estimate, PipelineEstimate};

@@ -159,6 +159,7 @@ mod tests {
                     busy_ns: 0,
                     sleep_ns: 0,
                     energy_j: 0.0,
+                    online: true,
                 })
                 .collect(),
         }

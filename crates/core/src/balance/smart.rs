@@ -16,11 +16,14 @@ use kernelsim::{Allocation, EpochReport, LoadBalancer};
 use mcpat::ThermalModel;
 
 use crate::anneal::{anneal, AnnealOutcome, AnnealParams};
+use crate::balance::vanilla::VanillaBalancer;
 use crate::config::SmartBalanceConfig;
+use crate::degrade::QuarantineTracker;
+use crate::degrade::{predict_free_greedy, DegradeController, DegradeMode, EpochHealth};
 use crate::estimate::build_matrices;
 use crate::objective::Objective;
 use crate::predict::PredictorSet;
-use crate::sense::Sensor;
+use crate::sense::{SenseHealth, Sensor};
 
 /// The SmartBalance policy.
 ///
@@ -51,6 +54,20 @@ pub struct SmartBalance {
     epochs_balanced: u64,
     last_outcome: Option<AnnealOutcome>,
     thermal: Option<ThermalModel>,
+    degrade: DegradeController,
+    quarantine: QuarantineTracker,
+    fallback: VanillaBalancer,
+}
+
+/// Builds the sensing stage from the configuration (shared by both
+/// constructors).
+fn sensor_from_config(config: &SmartBalanceConfig) -> Sensor {
+    Sensor::new(config.min_sample_runtime_ns)
+        .with_power_noise(
+            config.power_noise_sigma,
+            config.sensor_seed.unwrap_or(0xBAD_5EED),
+        )
+        .with_signature_ttl(config.degrade.signature_ttl_epochs)
 }
 
 impl SmartBalance {
@@ -70,12 +87,14 @@ impl SmartBalance {
             config.sparse_sensing,
         );
         SmartBalance {
-            sensor: Sensor::new(config.min_sample_runtime_ns)
-                .with_power_noise(config.power_noise_sigma, 0xBAD_5EED),
+            sensor: sensor_from_config(&config),
             predictors,
             seed: config.anneal_seed.unwrap_or(0x5A17_B0B5),
             epochs_balanced: 0,
             thermal: config.thermal.map(|_| ThermalModel::new(platform)),
+            degrade: DegradeController::new(config.degrade),
+            quarantine: QuarantineTracker::new(),
+            fallback: VanillaBalancer::new(),
             config,
             last_outcome: None,
         }
@@ -86,12 +105,14 @@ impl SmartBalance {
     /// available through this constructor (it needs the platform).
     pub fn with_predictors(predictors: PredictorSet, config: SmartBalanceConfig) -> Self {
         SmartBalance {
-            sensor: Sensor::new(config.min_sample_runtime_ns)
-                .with_power_noise(config.power_noise_sigma, 0xBAD_5EED),
+            sensor: sensor_from_config(&config),
             predictors,
             seed: config.anneal_seed.unwrap_or(0x5A17_B0B5),
             epochs_balanced: 0,
             thermal: None,
+            degrade: DegradeController::new(config.degrade),
+            quarantine: QuarantineTracker::new(),
+            fallback: VanillaBalancer::new(),
             config,
             last_outcome: None,
         }
@@ -122,6 +143,27 @@ impl SmartBalance {
     pub fn epochs_balanced(&self) -> u64 {
         self.epochs_balanced
     }
+
+    /// Current rung of the degradation ladder.
+    pub fn mode(&self) -> DegradeMode {
+        self.degrade.mode()
+    }
+
+    /// Total degradation-ladder transitions (both directions) since
+    /// construction.
+    pub fn mode_transitions(&self) -> u64 {
+        self.degrade.transitions()
+    }
+
+    /// Threads whose predictions are currently quarantined.
+    pub fn quarantined_threads(&self) -> Vec<kernelsim::TaskId> {
+        self.quarantine.quarantined_tasks()
+    }
+
+    /// The sensing stage's classification tally for the last epoch.
+    pub fn sense_health(&self) -> SenseHealth {
+        self.sensor.health()
+    }
 }
 
 impl LoadBalancer for SmartBalance {
@@ -148,6 +190,69 @@ impl LoadBalancer for SmartBalance {
         if senses.is_empty() {
             self.last_outcome = None;
             return None;
+        }
+
+        // --- Degradation ladder: distrust what failed --------------------
+        self.quarantine
+            .observe(platform, &senses, &self.predictors, &self.config.degrade);
+        let sense_health = self.sensor.health();
+        let health = EpochHealth {
+            candidates: sense_health.candidates,
+            invalid: sense_health.invalid,
+            blind: sense_health.blind,
+            quarantined: self.quarantine.quarantined_count(),
+        };
+        let mode = self.degrade.step(&health);
+
+        // Per-core availability from the report (missing entries are
+        // treated as online, matching older reports).
+        let n = platform.num_cores();
+        let mut online = vec![true; n];
+        for c in &report.cores {
+            if c.core.0 < n {
+                online[c.core.0] = c.online;
+            }
+        }
+
+        match mode {
+            DegradeMode::LoadOnly => {
+                // Sensing itself is distrusted: fall back to the
+                // heterogeneity-blind load-equalizing spread, which only
+                // needs run-queue weights.
+                self.last_outcome = None;
+                return self.fallback.rebalance(platform, report);
+            }
+            DegradeMode::PredictFree => {
+                // Predictions are distrusted but measurements are not:
+                // greedy IPS/Watt packing on static core efficiency.
+                self.last_outcome = None;
+                return predict_free_greedy(platform, &senses, &online);
+            }
+            DegradeMode::Full => {}
+        }
+
+        // Constrain the annealer's search: quarantined threads stay
+        // put (their signatures cannot be trusted to propose moves)
+        // and offline cores are excluded from every affinity mask.
+        let any_offline = online.iter().any(|&o| !o);
+        if any_offline || self.quarantine.quarantined_count() > 0 {
+            let online_bits: u64 = online
+                .iter()
+                .enumerate()
+                .filter(|&(j, &o)| o && j < 64)
+                .fold(0u64, |acc, (j, _)| acc | (1 << j));
+            for s in &mut senses {
+                if s.core.0 >= 64 {
+                    continue; // masks cannot express cores beyond 64
+                }
+                if self.quarantine.is_quarantined(s.task) {
+                    s.allowed = 1 << s.core.0;
+                } else if any_offline && n <= 64 {
+                    // Never leave the mask empty: the current core is
+                    // always representable.
+                    s.allowed = (s.allowed & online_bits) | (1 << s.core.0);
+                }
+            }
         }
 
         // --- Estimate & predict: S(k), P(k) ----------------------------
@@ -281,6 +386,49 @@ mod tests {
             sys.task(ktid).migrations(),
             0,
             "kernel threads stay put by default"
+        );
+    }
+
+    #[test]
+    fn sensing_blackout_walks_the_ladder_down_and_back() {
+        use archsim::{FaultClass, FaultKind, FaultPlan};
+
+        let platform = Platform::quad_heterogeneous();
+        let mut policy = SmartBalance::new(&platform);
+        let mut sys = System::new(platform, SystemConfig::default());
+        // All counters stuck from epoch 0; sensors heal at epoch 6.
+        sys.set_fault_plan(
+            FaultPlan::new()
+                .inject(0, None, FaultKind::StuckCounters { prob: 1.0 })
+                .clear(6, None, FaultClass::Stuck),
+            0xC0FFEE,
+        );
+        for _ in 0..4 {
+            sys.spawn(WorkloadProfile::uniform(
+                "w",
+                WorkloadCharacteristics::balanced(),
+                u64::MAX / 4,
+            ));
+        }
+        let mut saw_load_only = false;
+        for _ in 0..18 {
+            sys.run_epoch(&mut policy);
+            saw_load_only |= policy.mode() == crate::degrade::DegradeMode::LoadOnly;
+        }
+        assert!(
+            saw_load_only,
+            "stuck counters must demote all the way to load-only"
+        );
+        assert_eq!(
+            policy.mode(),
+            crate::degrade::DegradeMode::Full,
+            "healed sensors must recover the full loop"
+        );
+        // Down (1 jump) + up (2 rungs) = at least 3 transitions.
+        assert!(
+            policy.mode_transitions() >= 3,
+            "transitions: {}",
+            policy.mode_transitions()
         );
     }
 

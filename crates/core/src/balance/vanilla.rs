@@ -56,6 +56,19 @@ impl LoadBalancer for VanillaBalancer {
             load[c] += w;
         }
 
+        // Hotplugged-out cores never receive tasks; they may still
+        // donate (stale attributions drain off them). Reports that
+        // predate the `online` flag default to all-online.
+        let mut online = vec![true; n];
+        for c in &report.cores {
+            if c.core.0 < n {
+                online[c.core.0] = c.online;
+            }
+        }
+        if !online.iter().any(|&o| o) {
+            return None;
+        }
+
         let mut moved = Allocation::new();
         // Cores that proved unable to donate a useful task this pass.
         let mut exhausted = vec![false; n];
@@ -63,7 +76,9 @@ impl LoadBalancer for VanillaBalancer {
             let Some(busiest) = (0..n).filter(|&j| !exhausted[j]).max_by_key(|&j| load[j]) else {
                 break;
             };
-            let idlest = (0..n).min_by_key(|&j| load[j]).unwrap_or(0);
+            let Some(idlest) = (0..n).filter(|&j| online[j]).min_by_key(|&j| load[j]) else {
+                break;
+            };
             let imbalance = load[busiest].saturating_sub(load[idlest]);
             if imbalance < 2 {
                 break;
@@ -147,6 +162,7 @@ mod tests {
                     busy_ns: 0,
                     sleep_ns: 0,
                     energy_j: 0.0,
+                    online: true,
                 })
                 .collect(),
         }
@@ -211,6 +227,47 @@ mod tests {
         let mut t2 = task_stat(1, 0, 1024);
         t2.alive = false;
         assert!(vb.rebalance(&platform, &report(vec![t, t2], 4)).is_none());
+    }
+
+    #[test]
+    fn offline_cores_never_receive_tasks() {
+        let platform = Platform::quad_heterogeneous();
+        let mut vb = VanillaBalancer::new();
+        // Six equal tasks stacked on core 0; cores 2 and 3 offline.
+        let mut r = report((0..6).map(|i| task_stat(i, 0, 1024)).collect(), 4);
+        r.cores[2].online = false;
+        r.cores[3].online = false;
+        let alloc = vb.rebalance(&platform, &r).expect("must spread to core 1");
+        assert!(!alloc.is_empty());
+        for (_, core) in alloc.iter() {
+            assert_eq!(core, CoreId(1), "only online core 1 may receive");
+        }
+    }
+
+    #[test]
+    fn offline_core_drains_even_when_busiest() {
+        let platform = Platform::quad_heterogeneous();
+        let mut vb = VanillaBalancer::new();
+        // Stale attribution: tasks still accounted to offline core 0.
+        let mut r = report((0..4).map(|i| task_stat(i, 0, 1024)).collect(), 4);
+        r.cores[0].online = false;
+        let alloc = vb.rebalance(&platform, &r).expect("drain the dead core");
+        for (_, core) in alloc.iter() {
+            assert_ne!(core, CoreId(0));
+        }
+        // All four must leave (their host is gone, targets balanced).
+        assert!(alloc.len() >= 3, "most tasks drain: {}", alloc.len());
+    }
+
+    #[test]
+    fn all_cores_offline_is_noop() {
+        let platform = Platform::quad_heterogeneous();
+        let mut vb = VanillaBalancer::new();
+        let mut r = report((0..4).map(|i| task_stat(i, 0, 1024)).collect(), 4);
+        for c in &mut r.cores {
+            c.online = false;
+        }
+        assert!(vb.rebalance(&platform, &r).is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::anneal::AnnealParams;
+use crate::degrade::DegradeConfig;
 use crate::objective::Goal;
 
 /// Thermal-awareness settings: derate hot cores' objective weights ω_j
@@ -88,6 +89,12 @@ pub struct SmartBalanceConfig {
     /// The experiment suite sets this per job so fan-out runs stay
     /// independently reproducible.
     pub anneal_seed: Option<u32>,
+    /// Seed for the sensing stage's measurement-noise PRNG; `None`
+    /// uses the fixed default. The experiment suite sets this per job
+    /// so fan-out runs draw independent noise streams.
+    pub sensor_seed: Option<u64>,
+    /// Graceful-degradation ladder and prediction-quarantine tuning.
+    pub degrade: DegradeConfig,
 }
 
 impl Default for SmartBalanceConfig {
@@ -104,6 +111,8 @@ impl Default for SmartBalanceConfig {
             sparse_sensing: false,
             thermal: None,
             anneal_seed: None,
+            sensor_seed: None,
+            degrade: DegradeConfig::default(),
         }
     }
 }

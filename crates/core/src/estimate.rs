@@ -46,7 +46,13 @@ pub fn build_matrices(
 
     for (i, sense) in senses.iter().enumerate() {
         let src_type = platform.core_type(sense.core);
-        let has_measurement = sense.fresh && sense.measured_ips > 0.0;
+        // Non-finite or non-positive measurements (corrupt sensors that
+        // slipped past the sensing stage) fall back to prediction.
+        let has_measurement = sense.fresh
+            && sense.measured_ips.is_finite()
+            && sense.measured_ips > 0.0
+            && sense.measured_power_w.is_finite()
+            && sense.measured_power_w > 0.0;
         // One shared-inversion prediction row per thread (computed
         // lazily: an all-measured thread never pays for it), then each
         // column is a per-type table lookup.
@@ -65,9 +71,19 @@ pub fn build_matrices(
                     predictors.predict_ipc_by_type(&sense.features, src_type)
                 });
                 let ipc = row[dst_type.0];
-                let ips = ipc * platform.type_config(dst_type).freq_hz;
-                let p = predictors.predict_power_w(ipc, dst_type).max(1e-6);
-                m.set(i, j, ips, p, false);
+                let mut ips = ipc * platform.type_config(dst_type).freq_hz;
+                if !ips.is_finite() {
+                    // A corrupt signature can drive the regression to
+                    // NaN/Inf; a zero-throughput entry merely makes the
+                    // core look unattractive instead of poisoning the
+                    // objective arithmetic.
+                    ips = 0.0;
+                }
+                let mut p = predictors.predict_power_w(ipc, dst_type);
+                if !p.is_finite() {
+                    p = 0.0;
+                }
+                m.set(i, j, ips, p.max(1e-6), false);
             }
         }
         m.set_utilization(i, sense.utilization);
@@ -131,6 +147,41 @@ mod tests {
             assert!(!m.is_measured(0, j));
             assert!(m.ips(0, j) > 0.0);
             assert!(m.power(0, j) > 0.0);
+        }
+    }
+
+    #[test]
+    fn non_finite_measurements_fall_back_to_prediction() {
+        let platform = Platform::quad_heterogeneous();
+        let predictors = PredictorSet::train(&platform, 200, 3);
+        let w = WorkloadCharacteristics::balanced();
+        let mut s = sense_for(&platform, CoreId(1), &w, true);
+        s.measured_ips = f64::NAN;
+        let m = build_matrices(&platform, &[s], &predictors);
+        assert!(!m.is_measured(0, 1), "NaN measurement is not trusted");
+        for j in 0..4 {
+            assert!(m.ips(0, j).is_finite());
+            assert!(m.power(0, j).is_finite() && m.power(0, j) > 0.0);
+        }
+        // Zero measured power is equally distrusted.
+        s.measured_ips = 1e9;
+        s.measured_power_w = 0.0;
+        let m2 = build_matrices(&platform, &[s], &predictors);
+        assert!(!m2.is_measured(0, 1));
+    }
+
+    #[test]
+    fn corrupt_features_never_poison_the_matrices() {
+        let platform = Platform::quad_heterogeneous();
+        let predictors = PredictorSet::train(&platform, 200, 3);
+        let w = WorkloadCharacteristics::balanced();
+        let mut s = sense_for(&platform, CoreId(1), &w, false);
+        // An adversarial signature that slipped past validation.
+        s.features = [f64::INFINITY; crate::sense::NUM_FEATURES];
+        let m = build_matrices(&platform, &[s], &predictors);
+        for j in 0..4 {
+            assert!(m.ips(0, j).is_finite(), "col {j}");
+            assert!(m.power(0, j).is_finite() && m.power(0, j) > 0.0, "col {j}");
         }
     }
 

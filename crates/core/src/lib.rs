@@ -69,6 +69,7 @@
 pub mod anneal;
 pub mod balance;
 pub mod config;
+pub mod degrade;
 pub mod estimate;
 pub mod fixed;
 pub mod matrices;
@@ -82,6 +83,10 @@ pub mod suite;
 pub use anneal::{anneal, AnnealOutcome, AnnealParams};
 pub use balance::{GtsBalancer, IksBalancer, SmartBalance, VanillaBalancer};
 pub use config::{SmartBalanceConfig, ThermalConfig};
+pub use degrade::{
+    predict_free_greedy, DegradeConfig, DegradeController, DegradeMode, EpochHealth,
+    QuarantineTracker,
+};
 pub use estimate::build_matrices;
 pub use matrices::CharacterizationMatrices;
 pub use objective::{Goal, Objective};
@@ -91,7 +96,7 @@ pub use runner::{
     compare_policies, run_experiment, run_experiment_traced, ExperimentSpec, Policy, RunResult,
     TraceCapture, TraceRequest,
 };
-pub use sense::{Sensor, ThreadSense, FEATURE_NAMES, NUM_FEATURES};
+pub use sense::{SenseHealth, Sensor, ThreadSense, FEATURE_NAMES, NUM_FEATURES};
 pub use suite::{
     parallel_indexed, EfficiencyGain, ExperimentSuite, JobResult, SuiteJob, SuiteProgress,
     SuiteReport,

@@ -50,7 +50,7 @@ pub type Features = [f64; NUM_FEATURES];
 /// assert_eq!(f[9], 1.0); // const
 /// ```
 pub fn features_from_counters(c: &CounterSample, src_freq_hz: f64) -> Features {
-    [
+    let mut f = [
         src_freq_hz / 1e9,
         c.l1i_miss_rate(),
         c.l1d_miss_rate(),
@@ -62,7 +62,34 @@ pub fn features_from_counters(c: &CounterSample, src_freq_hz: f64) -> Features {
         c.ipc(),
         1.0,
         c.mem_stall_cpi(),
-    ]
+    ];
+    // No NaN/Inf may ever enter a regression matrix, whatever the
+    // counters (or the frequency) claim.
+    for v in &mut f {
+        if !v.is_finite() {
+            *v = 0.0;
+        }
+    }
+    f
+}
+
+/// Sanity-checks a characterization vector: every component finite,
+/// rates/shares within physical bounds. Vectors failing this must not
+/// reach the predictor (corrupted sensors produce them routinely).
+pub fn features_are_sane(f: &Features) -> bool {
+    if f.iter().any(|v| !v.is_finite()) {
+        return false;
+    }
+    let fr = f[0];
+    let ipc = f[8];
+    let cpi_mem = f[10];
+    // Miss rates and instruction shares are ratios in [0, 1].
+    let rates_ok = f[1..=7].iter().all(|&r| (0.0..=1.0).contains(&r));
+    rates_ok
+        && fr > 0.0
+        && fr <= 100.0
+        && (0.0..=64.0).contains(&ipc)
+        && (0.0..=1e3).contains(&cpi_mem)
 }
 
 /// One thread's sensed state for an epoch.
@@ -91,8 +118,52 @@ pub struct ThreadSense {
     pub fresh: bool,
 }
 
+/// Per-epoch tally of how the sensing stage classified its inputs —
+/// the degraded-mode controller's view of sensing health.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SenseHealth {
+    /// Live threads processed.
+    pub candidates: usize,
+    /// Samples accepted as fresh measurements.
+    pub fresh: usize,
+    /// Samples that ran long enough but failed sanity validation
+    /// (NaN/Inf/out-of-range features, zero instructions, bad power).
+    pub invalid: usize,
+    /// Threads served from the signature cache.
+    pub replayed: usize,
+    /// Cache entries discarded because they exceeded the staleness TTL.
+    pub expired: usize,
+    /// Threads that fell back to the neutral prior.
+    pub priors: usize,
+    /// Threads that ran long enough to be measured yet still ended on
+    /// the neutral prior — sensing is genuinely broken for them, not
+    /// merely starved of runtime. This is the degradation signal: a
+    /// thread that barely ran contributes little to the epoch either
+    /// way, but a running thread with no usable data means the loop is
+    /// flying blind.
+    pub blind: usize,
+}
+
+impl SenseHealth {
+    /// Fraction of candidates whose fresh sample was rejected.
+    pub fn invalid_frac(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.invalid as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// A cached signature plus the epoch it was measured in.
+#[derive(Debug, Clone, Copy)]
+struct CachedSense {
+    sense: ThreadSense,
+    fresh_epoch: u64,
+}
+
 /// The sensing stage with its per-thread signature cache.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Sensor {
     /// Minimum runtime for a sample to be considered reliable, ns.
     min_runtime_ns: u64,
@@ -100,7 +171,17 @@ pub struct Sensor {
     /// sensors, the default).
     power_noise_sigma: f64,
     noise_state: u64,
-    cache: HashMap<TaskId, ThreadSense>,
+    /// How many epochs a cached signature may be replayed before it is
+    /// considered stale and discarded (default: forever).
+    ttl_epochs: u64,
+    cache: HashMap<TaskId, CachedSense>,
+    health: SenseHealth,
+}
+
+impl Default for Sensor {
+    fn default() -> Self {
+        Sensor::new(0)
+    }
 }
 
 impl Sensor {
@@ -111,8 +192,34 @@ impl Sensor {
             min_runtime_ns,
             power_noise_sigma: 0.0,
             noise_state: 0x9E37_79B9_7F4A_7C15,
+            ttl_epochs: u64::MAX,
             cache: HashMap::new(),
+            health: SenseHealth::default(),
         }
+    }
+
+    /// Builder: limits how many epochs a cached signature may be
+    /// replayed before the thread falls back to the neutral prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn with_signature_ttl(mut self, epochs: u64) -> Self {
+        assert!(epochs > 0, "signature TTL must be at least one epoch");
+        self.ttl_epochs = epochs;
+        self
+    }
+
+    /// Re-seeds the power-noise stream (keeps sigma), so suite reruns
+    /// can give every job an independent, reproducible noise sequence.
+    pub fn reseed(&mut self, seed: u64) {
+        self.noise_state = seed | 1;
+    }
+
+    /// How the sensing stage classified its inputs in the most recent
+    /// [`Sensor::sense`] call.
+    pub fn health(&self) -> SenseHealth {
+        self.health
     }
 
     /// Builder: corrupts measured per-thread power with multiplicative
@@ -155,45 +262,81 @@ impl Sensor {
     }
 
     /// Processes an epoch report into per-thread senses, refreshing the
-    /// cache for every thread that ran long enough. Exited threads are
-    /// dropped from both the output and the cache.
+    /// cache for every thread that ran long enough *and* produced a
+    /// sample that passes sanity validation. Invalid samples (NaN/Inf
+    /// or out-of-range features, zero instructions, non-positive power
+    /// — the signature of corrupted sensors) fall back to the last-good
+    /// cached signature, subject to the staleness TTL, and then to the
+    /// neutral prior. Exited threads are dropped from both the output
+    /// and the cache.
     pub fn sense(&mut self, platform: &Platform, report: &EpochReport) -> Vec<ThreadSense> {
         let mut out = Vec::with_capacity(report.tasks.len());
+        let mut health = SenseHealth::default();
         for t in &report.tasks {
             if !t.alive {
                 self.cache.remove(&t.task);
                 continue;
             }
+            health.candidates += 1;
             let utilization = t.utilization.clamp(1.0e-3, 1.0);
-            let sense = if t.runtime_ns >= self.min_runtime_ns {
+            let ran = t.runtime_ns >= self.min_runtime_ns;
+            let mut sense = None;
+            if ran {
                 let freq = platform.core_config(t.core).freq_hz;
-                let measured_power_w = self.noisy_power(t.power_w());
-                ThreadSense {
-                    task: t.task,
-                    core: t.core,
-                    features: features_from_counters(&t.counters, freq),
-                    measured_ips: t.ips(),
-                    measured_power_w,
-                    utilization,
-                    weight: t.weight,
-                    kernel_thread: t.kernel_thread,
-                    allowed: t.allowed,
-                    fresh: true,
+                let features = features_from_counters(&t.counters, freq);
+                let ips = t.ips();
+                let power = t.power_w();
+                let valid = features_are_sane(&features)
+                    && t.counters.instructions > 0
+                    && ips > 0.0
+                    && power > 0.0;
+                if valid {
+                    health.fresh += 1;
+                    sense = Some(ThreadSense {
+                        task: t.task,
+                        core: t.core,
+                        features,
+                        measured_ips: ips,
+                        measured_power_w: self.noisy_power(power),
+                        utilization,
+                        weight: t.weight,
+                        kernel_thread: t.kernel_thread,
+                        allowed: t.allowed,
+                        fresh: true,
+                    });
+                } else {
+                    health.invalid += 1;
                 }
-            } else if let Some(cached) = self.cache.get(&t.task) {
-                // Replay the last good signature; the thread may have
-                // been migrated since, so only positional fields update.
-                ThreadSense {
-                    core: t.core,
-                    utilization,
-                    weight: t.weight,
-                    allowed: t.allowed,
-                    fresh: false,
-                    ..*cached
+            }
+            if sense.is_none() {
+                if let Some(cached) = self.cache.get(&t.task) {
+                    if report.epoch.saturating_sub(cached.fresh_epoch) <= self.ttl_epochs {
+                        // Replay the last good signature; the thread may
+                        // have been migrated since, so only positional
+                        // fields update.
+                        health.replayed += 1;
+                        sense = Some(ThreadSense {
+                            core: t.core,
+                            utilization,
+                            weight: t.weight,
+                            allowed: t.allowed,
+                            fresh: false,
+                            ..cached.sense
+                        });
+                    } else {
+                        health.expired += 1;
+                        self.cache.remove(&t.task);
+                    }
                 }
-            } else {
-                // Never sampled: neutral prior (a light, average
-                // thread); the closed loop will refine it next epoch.
+            }
+            let sense = sense.unwrap_or_else(|| {
+                // Never (or too long ago) sampled: neutral prior (a
+                // light, average thread); the closed loop will refine
+                // it once trustworthy samples return.
+                health.priors += 1;
+                if ran {
+                    health.blind += 1;
+                }
                 ThreadSense {
                     task: t.task,
                     core: t.core,
@@ -206,12 +349,19 @@ impl Sensor {
                     allowed: t.allowed,
                     fresh: false,
                 }
-            };
+            });
             if sense.fresh {
-                self.cache.insert(t.task, sense);
+                self.cache.insert(
+                    t.task,
+                    CachedSense {
+                        sense,
+                        fresh_epoch: report.epoch,
+                    },
+                );
             }
             out.push(sense);
         }
+        self.health = health;
         out
     }
 }
@@ -252,6 +402,7 @@ mod tests {
                     busy_ns: 0,
                     sleep_ns: 0,
                     energy_j: 0.0,
+                    online: true,
                 };
                 4
             ],
@@ -368,6 +519,123 @@ mod tests {
     #[should_panic(expected = "sigma must be >= 0")]
     fn negative_noise_rejected() {
         let _ = Sensor::new(0).with_power_noise(-0.1, 1);
+    }
+
+    #[test]
+    fn all_zero_sample_yields_finite_features() {
+        // A task that never ran (or whose counters were wiped by a
+        // fault) must produce an all-finite vector — nothing here may
+        // ever poison a regression matrix.
+        let f = features_from_counters(&CounterSample::default(), 2.0e9);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f[8], 0.0, "zero-cycle epoch has zero IPC");
+        assert!(features_are_sane(&f));
+        // Even a nonsensical frequency cannot smuggle in a NaN.
+        let g = features_from_counters(&CounterSample::default(), f64::NAN);
+        assert!(g.iter().all(|v| v.is_finite()));
+        assert!(!features_are_sane(&g), "FR = 0 is not a sane vector");
+    }
+
+    #[test]
+    fn features_are_sane_rejects_corruption() {
+        let good = features_from_counters(&running_task(0, 0, 1).counters, 2.0e9);
+        assert!(features_are_sane(&good));
+        let mut bad = good;
+        bad[2] = f64::INFINITY;
+        assert!(!features_are_sane(&bad));
+        let mut bad = good;
+        bad[5] = 1.5; // a miss *rate* above 1
+        assert!(!features_are_sane(&bad));
+        let mut bad = good;
+        bad[8] = 1.0e6; // physically impossible IPC
+        assert!(!features_are_sane(&bad));
+    }
+
+    #[test]
+    fn invalid_fresh_sample_falls_back_to_cache() {
+        let platform = Platform::quad_heterogeneous();
+        let mut sensor = Sensor::new(100_000);
+        sensor.sense(
+            &platform,
+            &report_with(vec![running_task(0, 0, 30_000_000)]),
+        );
+        // The thread ran long enough, but its counters were wiped by a
+        // stuck sensor: zero instructions ⇒ invalid measurement.
+        let mut t = running_task(0, 0, 30_000_000);
+        t.counters = CounterSample::default();
+        let senses = sensor.sense(&platform, &report_with(vec![t]));
+        let s = &senses[0];
+        assert!(!s.fresh, "corrupted sample must not be trusted");
+        assert!(s.measured_ips > 0.0, "last-good signature replayed");
+        assert!(
+            (s.features[1] - 0.001).abs() < 1e-12,
+            "replayed mr_$i, not the prior's"
+        );
+        let h = sensor.health();
+        assert_eq!((h.candidates, h.invalid, h.replayed), (1, 1, 1));
+    }
+
+    #[test]
+    fn stale_cache_entries_expire() {
+        let platform = Platform::quad_heterogeneous();
+        let mut sensor = Sensor::new(100_000).with_signature_ttl(2);
+        sensor.sense(
+            &platform,
+            &report_with(vec![running_task(0, 0, 30_000_000)]),
+        );
+        // Epochs 1..=2: short runs, replayed from cache.
+        for epoch in 1..=2u64 {
+            let mut r = report_with(vec![running_task(0, 0, 10)]);
+            r.epoch = epoch;
+            let s = sensor.sense(&platform, &r);
+            assert!(!s[0].fresh);
+            assert!(s[0].measured_ips > 0.0, "replayed at epoch {epoch}");
+        }
+        // Epoch 3: TTL exceeded — the signature is too old to trust.
+        let mut r = report_with(vec![running_task(0, 0, 10)]);
+        r.epoch = 3;
+        let s = sensor.sense(&platform, &r);
+        assert!(!s[0].fresh);
+        assert_eq!(
+            s[0].measured_ips, 0.0,
+            "neutral prior replaces the expired signature"
+        );
+        assert_eq!(sensor.health().expired, 1);
+        assert_eq!(sensor.cached_threads(), 0);
+    }
+
+    #[test]
+    fn blind_counts_running_threads_only() {
+        let platform = Platform::quad_heterogeneous();
+        let mut sensor = Sensor::new(100_000);
+        // Task 0 ran a full slice but its counters were wiped (a stuck
+        // sensor) and it has no cache: genuinely blind. Task 1 barely
+        // ran at all: starved, not blind — scheduling, not sensing.
+        let mut wiped = running_task(0, 0, 30_000_000);
+        wiped.counters = CounterSample::default();
+        let starved = running_task(1, 1, 10);
+        let senses = sensor.sense(&platform, &report_with(vec![wiped, starved]));
+        assert!(senses.iter().all(|s| !s.fresh));
+        let h = sensor.health();
+        assert_eq!(h.priors, 2, "both fall back to the neutral prior");
+        assert_eq!(h.blind, 1, "only the running thread is blind");
+        assert_eq!(h.invalid, 1);
+    }
+
+    #[test]
+    fn reseed_restarts_the_noise_stream() {
+        let platform = Platform::quad_heterogeneous();
+        let r = report_with(vec![running_task(0, 0, 30_000_000)]);
+        let mut a = Sensor::new(100_000).with_power_noise(0.1, 7);
+        let p1 = a.sense(&platform, &r)[0].measured_power_w;
+        let p2 = a.sense(&platform, &r)[0].measured_power_w;
+        assert_ne!(p1, p2, "stream advances between epochs");
+        a.reseed(7);
+        assert_eq!(
+            a.sense(&platform, &r)[0].measured_power_w,
+            p1,
+            "re-seeding replays the stream"
+        );
     }
 
     #[test]

@@ -76,11 +76,15 @@ impl SuiteJob {
 
     /// The SmartBalance configuration this job actually runs with: the
     /// spec's `policy_config` (or defaults) with the job seed filled
-    /// into `anneal_seed` when the config doesn't pin one.
+    /// into `anneal_seed` and `sensor_seed` when the config doesn't
+    /// pin them.
     pub fn effective_config(&self) -> SmartBalanceConfig {
         let mut cfg = self.spec.policy_config.clone().unwrap_or_default();
         if cfg.anneal_seed.is_none() {
             cfg.anneal_seed = Some(self.seed as u32);
+        }
+        if cfg.sensor_seed.is_none() {
+            cfg.sensor_seed = Some(self.seed);
         }
         cfg
     }
@@ -504,6 +508,20 @@ mod tests {
         suite.push(unpinned_spec, Policy::Smart);
         let job = &suite.jobs()[1];
         assert_eq!(job.effective_config().anneal_seed, Some(job.seed as u32));
+    }
+
+    #[test]
+    fn job_seed_threads_into_sensor_seed() {
+        let mut suite = ExperimentSuite::new();
+        let pinned = tiny_spec("w").with_policy_config(SmartBalanceConfig {
+            sensor_seed: Some(0xFEED),
+            ..SmartBalanceConfig::default()
+        });
+        suite.push(pinned, Policy::Smart);
+        assert_eq!(suite.jobs()[0].effective_config().sensor_seed, Some(0xFEED));
+        suite.push(tiny_spec("w"), Policy::Smart);
+        let job = &suite.jobs()[1];
+        assert_eq!(job.effective_config().sensor_seed, Some(job.seed));
     }
 
     #[test]

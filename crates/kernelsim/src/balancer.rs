@@ -46,22 +46,33 @@ impl TaskEpochStats {
     }
 
     /// Measured throughput over the task's own runtime, instructions
-    /// per second (`ips_ij(k)` of paper Eq. 4); 0 if it never ran.
+    /// per second (`ips_ij(k)` of paper Eq. 4); 0 if it never ran or
+    /// the rate is not finite (corrupted sensors must not leak NaN/Inf
+    /// into the regression matrices).
     pub fn ips(&self) -> f64 {
         if self.runtime_ns == 0 {
-            0.0
+            return 0.0;
+        }
+        let ips = self.counters.instructions as f64 / (self.runtime_ns as f64 * 1e-9);
+        if ips.is_finite() {
+            ips
         } else {
-            self.counters.instructions as f64 / (self.runtime_ns as f64 * 1e-9)
+            0.0
         }
     }
 
     /// Measured average power over the task's own runtime, watts
-    /// (`p_ij(k)` of paper Eq. 5); 0 if it never ran.
+    /// (`p_ij(k)` of paper Eq. 5); 0 if it never ran or the rate is not
+    /// finite.
     pub fn power_w(&self) -> f64 {
         if self.runtime_ns == 0 {
-            0.0
+            return 0.0;
+        }
+        let p = self.energy_j / (self.runtime_ns as f64 * 1e-9);
+        if p.is_finite() {
+            p
         } else {
-            self.energy_j / (self.runtime_ns as f64 * 1e-9)
+            0.0
         }
     }
 }
@@ -79,6 +90,9 @@ pub struct CoreEpochStats {
     pub sleep_ns: u64,
     /// Energy consumed during the epoch, joules.
     pub energy_j: f64,
+    /// Whether the core is online (hotplugged in) at the epoch
+    /// boundary. Balancers must not place tasks on offline cores.
+    pub online: bool,
 }
 
 impl CoreEpochStats {
@@ -190,6 +204,47 @@ impl Extend<(TaskId, CoreId)> for Allocation {
     }
 }
 
+/// Why one entry of a requested [`Allocation`] was not applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationReject {
+    /// The task id does not exist.
+    UnknownTask,
+    /// The target core id is out of range.
+    UnknownCore,
+    /// The task already exited.
+    Exited,
+    /// The task's affinity mask forbids the target core.
+    AffinityForbidden,
+    /// The target core is hotplugged out.
+    OfflineCore,
+    /// The migration transiently failed in the apply path (the
+    /// simulator's stand-in for `stop_machine`/IPI failures).
+    TransientFailure,
+}
+
+/// What actually landed when the system applied an [`Allocation`] —
+/// the delta between what the balancer requested and reality. The
+/// closed loop must consume this instead of assuming every request
+/// succeeded.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppliedAllocation {
+    /// Entries in the requested allocation.
+    pub requested: usize,
+    /// Migrations that happened: `(task, from, to)`.
+    pub migrated: Vec<(TaskId, CoreId, CoreId)>,
+    /// Entries that did not happen and why: `(task, target, reason)`.
+    /// No-op entries (task already on the target core) appear in
+    /// neither list.
+    pub rejected: Vec<(TaskId, CoreId, MigrationReject)>,
+}
+
+impl AppliedAllocation {
+    /// Rejections matching `reason`.
+    pub fn rejected_with(&self, reason: MigrationReject) -> usize {
+        self.rejected.iter().filter(|r| r.2 == reason).count()
+    }
+}
+
 /// A pluggable load balancer, invoked at every epoch boundary.
 ///
 /// Implementations: the vanilla Linux balancer, ARM GTS and
@@ -285,6 +340,37 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_rates_are_clamped_to_zero() {
+        let s = TaskEpochStats {
+            task: TaskId(0),
+            core: CoreId(0),
+            counters: CounterSample::default(),
+            runtime_ns: 1_000,
+            energy_j: f64::NAN,
+            utilization: 0.0,
+            alive: true,
+            kernel_thread: false,
+            weight: 1024,
+            allowed: u64::MAX,
+        };
+        assert_eq!(s.power_w(), 0.0, "NaN energy must not reach the matrices");
+    }
+
+    #[test]
+    fn applied_allocation_counts_rejections() {
+        let a = AppliedAllocation {
+            requested: 3,
+            migrated: vec![(TaskId(0), CoreId(0), CoreId(1))],
+            rejected: vec![
+                (TaskId(1), CoreId(2), MigrationReject::OfflineCore),
+                (TaskId(2), CoreId(2), MigrationReject::OfflineCore),
+            ],
+        };
+        assert_eq!(a.rejected_with(MigrationReject::OfflineCore), 2);
+        assert_eq!(a.rejected_with(MigrationReject::TransientFailure), 0);
+    }
+
+    #[test]
     fn core_stats_rates() {
         let s = CoreEpochStats {
             core: CoreId(0),
@@ -295,6 +381,7 @@ mod tests {
             busy_ns: 30_000_000,
             sleep_ns: 30_000_000,
             energy_j: 0.06,
+            online: true,
         };
         let epoch = 60_000_000;
         assert!((s.ips(epoch) - 1.0e9).abs() < 1.0);

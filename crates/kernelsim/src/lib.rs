@@ -38,7 +38,8 @@ pub mod task;
 pub mod trace;
 
 pub use balancer::{
-    Allocation, CoreEpochStats, EpochReport, LoadBalancer, NullBalancer, TaskEpochStats,
+    Allocation, AppliedAllocation, CoreEpochStats, EpochReport, LoadBalancer, MigrationReject,
+    NullBalancer, TaskEpochStats,
 };
 pub use cfs::CfsRunQueue;
 pub use stats::{CoreStats, SystemStats};

@@ -13,13 +13,16 @@ use std::collections::BinaryHeap;
 
 use archsim::{
     synthesize, time_to_complete_ns_with, CoreId, CoreTypeId, CounterSample, EstimateCache,
-    EstimateKey, Platform, SensorBank,
+    EstimateKey, FaultHarness, FaultPlan, FaultStats, Platform, SensorBank,
 };
 use mcpat::{EnergyMeter, PowerState};
 use serde::{Deserialize, Serialize};
 use workloads::WorkloadProfile;
 
-use crate::balancer::{Allocation, CoreEpochStats, EpochReport, LoadBalancer, TaskEpochStats};
+use crate::balancer::{
+    Allocation, AppliedAllocation, CoreEpochStats, EpochReport, LoadBalancer, MigrationReject,
+    TaskEpochStats,
+};
 use crate::cfs::CfsRunQueue;
 use crate::stats::SystemStats;
 use crate::task::{Task, TaskId, TaskState};
@@ -71,6 +74,36 @@ struct CoreEpochAccum {
     energy_j: f64,
 }
 
+/// Probabilistic failure of the migration apply path (the simulator's
+/// stand-in for `stop_machine`/IPI timeouts on real hardware). Uses a
+/// small stateful xorshift64* stream: [`Allocation`] iterates its
+/// entries in deterministic `BTreeMap` order, so runs stay reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MigrationFaultModel {
+    prob: f64,
+    state: u64,
+}
+
+impl MigrationFaultModel {
+    fn new(prob: f64, seed: u64) -> Self {
+        MigrationFaultModel {
+            prob,
+            state: seed | 1,
+        }
+    }
+
+    /// Rolls one migration attempt; `true` means it fails.
+    fn fails(&mut self) -> bool {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.prob
+    }
+}
+
 /// The simulated machine.
 ///
 /// # Examples
@@ -117,6 +150,20 @@ pub struct System {
     /// Scheduling slices dispatched since boot (hot-loop throughput
     /// denominator for the perf harness).
     total_slices: u64,
+    /// Per-core hotplug state; offline cores schedule nothing and draw
+    /// no power.
+    core_online: Vec<bool>,
+    /// Per-core thermal-throttle duty cycle in `(0, 1]`: the fraction
+    /// of each scheduling period the core may execute (the rest is
+    /// clock-gated).
+    core_duty: Vec<f64>,
+    /// Sensor fault interpreter; when set, every [`EpochReport`] passes
+    /// through it (ground truth in `sensors`/accumulators stays clean).
+    faults: Option<FaultHarness>,
+    /// Probabilistic migration failure in the allocation-apply path.
+    migration_fail: Option<MigrationFaultModel>,
+    /// Outcome of the most recent [`System::apply_allocation`].
+    last_applied: Option<AppliedAllocation>,
 }
 
 impl System {
@@ -156,6 +203,11 @@ impl System {
             dvfs_level: vec![0; q],
             wake_heaps: vec![BinaryHeap::new(); n],
             total_slices: 0,
+            core_online: vec![true; n],
+            core_duty: vec![1.0; n],
+            faults: None,
+            migration_fail: None,
+            last_applied: None,
         }
     }
 
@@ -224,9 +276,11 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if `core` is out of range for the platform.
+    /// Panics if `core` is out of range for the platform or hotplugged
+    /// out.
     pub fn spawn_on(&mut self, profile: WorkloadProfile, core: CoreId) -> TaskId {
         assert!(core.0 < self.platform.num_cores(), "no such core {core}");
+        assert!(self.core_online[core.0], "core {core} is offline");
         let id = TaskId(self.tasks.len());
         let task = Task::new(id, profile, core);
         self.enqueue_task_struct(task)
@@ -280,6 +334,9 @@ impl System {
         let mut best = CoreId(0);
         let mut best_weight = u64::MAX;
         for c in self.platform.cores() {
+            if !self.core_online[c.0] {
+                continue;
+            }
             let w: u64 = self
                 .tasks
                 .iter()
@@ -299,12 +356,25 @@ impl System {
         self.tasks.iter().filter(|t| !t.is_exited()).count()
     }
 
-    /// Runs one CFS scheduling period on every core.
+    /// Runs one CFS scheduling period on every core. Offline cores are
+    /// skipped entirely (powered off, no energy); thermally throttled
+    /// cores execute only their duty-cycle fraction of the period and
+    /// are clock-gated for the rest.
     pub fn run_period(&mut self) {
         let period = self.config.period_ns;
         let start = self.now_ns;
         for j in 0..self.platform.num_cores() {
-            self.simulate_core_period(CoreId(j), start, start + period);
+            if !self.core_online[j] {
+                continue;
+            }
+            let duty = self.core_duty[j];
+            if duty >= 1.0 {
+                self.simulate_core_period(CoreId(j), start, start + period);
+            } else {
+                let active_ns = ((period as f64 * duty).round() as u64).clamp(1, period);
+                self.simulate_core_period(CoreId(j), start, start + active_ns);
+                self.account_sleep(CoreId(j), period - active_ns);
+            }
         }
         self.now_ns = start + period;
     }
@@ -609,7 +679,7 @@ impl System {
     // Epoch boundary: sensing report, migration, bookkeeping
     // ------------------------------------------------------------------
 
-    fn build_epoch_report(&self) -> EpochReport {
+    fn build_epoch_report(&mut self) -> EpochReport {
         let duration_ns = self.config.epoch_ns();
         let tasks = self
             .tasks
@@ -639,59 +709,258 @@ impl System {
                     busy_ns: a.busy_ns,
                     sleep_ns: a.sleep_ns,
                     energy_j: a.energy_j,
+                    online: self.core_online[c.0],
                 }
             })
             .collect();
-        EpochReport {
+        let mut report = EpochReport {
             epoch: self.epoch_index,
             duration_ns,
             now_ns: self.now_ns,
             tasks,
             cores,
+        };
+        // Sensor faults corrupt what the controller *sees*; the ground
+        // truth in `sensors` and the epoch accumulators stays clean.
+        // (Under active faults the per-task and per-core ledgers of the
+        // report may deliberately disagree — sensors lie independently.)
+        if let Some(h) = self.faults.as_mut() {
+            h.advance_to_epoch(report.epoch);
+            if !h.is_quiescent() {
+                for t in &mut report.tasks {
+                    let (c, e) =
+                        h.corrupt_reading(t.core.0, t.task.0 as u64 + 1, t.counters, t.energy_j);
+                    t.counters = c;
+                    t.energy_j = e;
+                }
+                for core in &mut report.cores {
+                    let (c, e) = h.corrupt_reading(core.core.0, 0, core.counters, core.energy_j);
+                    core.counters = c;
+                    core.energy_j = e;
+                }
+            }
         }
+        report
     }
 
     /// Applies a new allocation: migrates every live task whose target
     /// differs from its current core (the `set_cpus_allowed_ptr()`
-    /// path), charging the migration cost.
-    pub fn apply_allocation(&mut self, alloc: &Allocation) {
+    /// path), charging the migration cost. Entries that cannot be
+    /// applied — unknown ids, exited tasks, affinity violations,
+    /// offline targets, transient apply-path failures — are skipped,
+    /// and the returned [`AppliedAllocation`] reports exactly what
+    /// landed and what was rejected (also kept in
+    /// [`System::last_applied`]).
+    pub fn apply_allocation(&mut self, alloc: &Allocation) -> AppliedAllocation {
+        let mut applied = AppliedAllocation {
+            requested: alloc.len(),
+            ..Default::default()
+        };
         for (tid, target) in alloc.iter() {
-            if tid.0 >= self.tasks.len() || target.0 >= self.platform.num_cores() {
-                continue; // stale or invalid entry: ignore defensively
-            }
-            let (current, state, weight, vr) = {
-                let t = &self.tasks[tid.0];
-                (t.core(), t.state, t.weight(), t.vruntime_ns)
-            };
-            if current == target || matches!(state, TaskState::Exited) {
+            if tid.0 >= self.tasks.len() {
+                applied
+                    .rejected
+                    .push((tid, target, MigrationReject::UnknownTask));
                 continue;
             }
+            if target.0 >= self.platform.num_cores() {
+                applied
+                    .rejected
+                    .push((tid, target, MigrationReject::UnknownCore));
+                continue;
+            }
+            let (current, state) = {
+                let t = &self.tasks[tid.0];
+                (t.core(), t.state)
+            };
+            if matches!(state, TaskState::Exited) {
+                applied
+                    .rejected
+                    .push((tid, target, MigrationReject::Exited));
+                continue;
+            }
+            if current == target {
+                continue; // no-op entry, neither migrated nor rejected
+            }
             if !self.tasks[tid.0].allows_core(target) {
-                continue; // affinity forbids the move: ignore defensively
+                applied
+                    .rejected
+                    .push((tid, target, MigrationReject::AffinityForbidden));
+                continue;
             }
-            if matches!(state, TaskState::Runnable) {
-                self.queues[current.0].dequeue(tid, vr, weight);
-                let v = self.queues[target.0].enqueue(tid, vr, weight);
-                self.tasks[tid.0].vruntime_ns = v;
+            if !self.core_online[target.0] {
+                applied
+                    .rejected
+                    .push((tid, target, MigrationReject::OfflineCore));
+                continue;
             }
-            let task = &mut self.tasks[tid.0];
-            task.core = target;
-            task.migration_debt_ns += self.config.migration_cost_ns;
-            task.migrations += 1;
-            self.total_migrations += 1;
-            // A sleeping migrant must be woken by its *new* core; the
-            // entry left on the old core's heap goes stale and is
-            // lazily dropped.
-            if let TaskState::Sleeping { wake_at_ns } = state {
-                self.wake_heaps[target.0].push(Reverse((wake_at_ns, tid)));
+            if let Some(m) = self.migration_fail.as_mut() {
+                if m.fails() {
+                    applied
+                        .rejected
+                        .push((tid, target, MigrationReject::TransientFailure));
+                    continue;
+                }
             }
-            self.tracer.record(TraceEvent::Migrate {
-                at_ns: self.now_ns,
-                task: tid,
-                from: current,
-                to: target,
-            });
+            self.migrate_task(tid, target);
+            applied.migrated.push((tid, current, target));
         }
+        self.last_applied = Some(applied.clone());
+        applied
+    }
+
+    /// Unconditionally moves a live task to `target` (queues, debt,
+    /// wake heap, trace). Callers have already validated the move.
+    fn migrate_task(&mut self, tid: TaskId, target: CoreId) {
+        let (current, state, weight, vr) = {
+            let t = &self.tasks[tid.0];
+            (t.core(), t.state, t.weight(), t.vruntime_ns)
+        };
+        if matches!(state, TaskState::Runnable) {
+            self.queues[current.0].dequeue(tid, vr, weight);
+            let v = self.queues[target.0].enqueue(tid, vr, weight);
+            self.tasks[tid.0].vruntime_ns = v;
+        }
+        let task = &mut self.tasks[tid.0];
+        task.core = target;
+        task.migration_debt_ns += self.config.migration_cost_ns;
+        task.migrations += 1;
+        self.total_migrations += 1;
+        // A sleeping migrant must be woken by its *new* core; the
+        // entry left on the old core's heap goes stale and is
+        // lazily dropped.
+        if let TaskState::Sleeping { wake_at_ns } = state {
+            self.wake_heaps[target.0].push(Reverse((wake_at_ns, tid)));
+        }
+        self.tracer.record(TraceEvent::Migrate {
+            at_ns: self.now_ns,
+            task: tid,
+            from: current,
+            to: target,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: hotplug, throttling, sensor and migration faults
+    // ------------------------------------------------------------------
+
+    /// Hotplugs a core out (`online = false`) or back in. Taking a core
+    /// offline evacuates its live tasks to the least-loaded online core
+    /// their affinity allows — or, like the kernel's
+    /// `select_fallback_rq()`, to any online core when affinity leaves
+    /// no choice. No-op if the core is already in the requested state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range, or offlining it would leave
+    /// zero online cores.
+    pub fn set_core_online(&mut self, core: CoreId, online: bool) {
+        assert!(core.0 < self.platform.num_cores(), "no such core {core}");
+        if self.core_online[core.0] == online {
+            return;
+        }
+        if !online {
+            assert!(
+                self.core_online.iter().filter(|&&o| o).count() > 1,
+                "cannot offline the last online core"
+            );
+            self.core_online[core.0] = false;
+            let victims: Vec<TaskId> = self
+                .tasks
+                .iter()
+                .filter(|t| !t.is_exited() && t.core() == core)
+                .map(Task::id)
+                .collect();
+            for tid in victims {
+                let target = self.evacuation_target(tid);
+                self.migrate_task(tid, target);
+            }
+        } else {
+            self.core_online[core.0] = true;
+        }
+    }
+
+    /// Picks the evacuation core for `tid`: the least-loaded online
+    /// core its affinity allows, else the least-loaded online core
+    /// outright (affinity is broken rather than losing the task).
+    fn evacuation_target(&self, tid: TaskId) -> CoreId {
+        let mut best: Option<(u64, CoreId)> = None;
+        let mut best_any: Option<(u64, CoreId)> = None;
+        for c in self.platform.cores() {
+            if !self.core_online[c.0] {
+                continue;
+            }
+            let w: u64 = self
+                .tasks
+                .iter()
+                .filter(|t| t.core() == c && !t.is_exited())
+                .map(Task::weight)
+                .sum();
+            if best_any.is_none_or(|(bw, _)| w < bw) {
+                best_any = Some((w, c));
+            }
+            if self.tasks[tid.0].allows_core(c) && best.is_none_or(|(bw, _)| w < bw) {
+                best = Some((w, c));
+            }
+        }
+        best.or(best_any).expect("at least one online core").1
+    }
+
+    /// Whether `core` is online.
+    pub fn core_online(&self, core: CoreId) -> bool {
+        self.core_online[core.0]
+    }
+
+    /// Thermally throttles `core` to `duty` in `(0, 1]`: it executes
+    /// only that fraction of every scheduling period. `1.0` restores
+    /// full speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `duty` is not in `(0, 1]`.
+    pub fn set_core_throttle(&mut self, core: CoreId, duty: f64) {
+        assert!(core.0 < self.platform.num_cores(), "no such core {core}");
+        assert!(
+            duty.is_finite() && duty > 0.0 && duty <= 1.0,
+            "throttle duty must be in (0, 1], got {duty}"
+        );
+        self.core_duty[core.0] = duty;
+    }
+
+    /// Installs a sensor [`FaultPlan`]: every subsequent epoch report
+    /// is filtered through a [`FaultHarness`] seeded with `seed`. An
+    /// empty plan keeps the harness quiescent (reports stay
+    /// bit-identical to the no-harness path).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.faults = Some(FaultHarness::new(plan, seed, self.platform.num_cores()));
+    }
+
+    /// Fault-harness telemetry, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultHarness::stats)
+    }
+
+    /// Makes every migration attempt fail independently with
+    /// probability `prob` (0 disables the fault model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn set_migration_failure(&mut self, prob: f64, seed: u64) {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "migration failure probability must be in [0, 1], got {prob}"
+        );
+        self.migration_fail = if prob > 0.0 {
+            Some(MigrationFaultModel::new(prob, seed))
+        } else {
+            None
+        };
+    }
+
+    /// Outcome of the most recent [`System::apply_allocation`] call.
+    pub fn last_applied(&self) -> Option<&AppliedAllocation> {
+        self.last_applied.as_ref()
     }
 
     fn finish_epoch(&mut self) {
@@ -766,7 +1035,7 @@ impl System {
 mod tests {
     use super::*;
     use crate::balancer::NullBalancer;
-    use archsim::WorkloadCharacteristics;
+    use archsim::{SensorInterface, WorkloadCharacteristics};
     use workloads::SleepPattern;
 
     fn cpu_profile(instr: u64) -> WorkloadProfile {
@@ -1104,6 +1373,135 @@ mod tests {
         // The cached run of the DVFS scenario must equal the uncached
         // one bit-for-bit — invalidation leaves no stale entries.
         assert_eq!((instr_dvfs, energy_dvfs), run(true, false));
+    }
+
+    #[test]
+    fn hotplug_evacuates_and_rejects_migrations() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let a = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(2));
+        let b = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        sys.set_core_online(CoreId(2), false);
+        assert!(!sys.core_online(CoreId(2)));
+        assert_ne!(sys.task(a).core(), CoreId(2), "victim evacuated");
+        // Migrating onto the offline core is rejected with a reason.
+        let mut alloc = Allocation::new();
+        alloc.assign(b, CoreId(2));
+        let applied = sys.apply_allocation(&alloc);
+        assert_eq!(applied.migrated.len(), 0);
+        assert_eq!(
+            applied.rejected,
+            vec![(b, CoreId(2), MigrationReject::OfflineCore)]
+        );
+        assert_eq!(sys.last_applied().unwrap(), &applied);
+        // The offline core schedules nothing and draws no energy.
+        let e_before = sys.sensors().energy_j(CoreId(2));
+        let mut nb = NullBalancer;
+        sys.run_epoch(&mut nb);
+        assert_eq!(sys.sensors().energy_j(CoreId(2)), e_before);
+        // Plugging it back in makes it usable again.
+        sys.set_core_online(CoreId(2), true);
+        let applied = sys.apply_allocation(&alloc);
+        assert_eq!(applied.migrated.len(), 1);
+    }
+
+    #[test]
+    fn evacuation_honors_affinity_when_possible() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.next_task_id();
+        // Allowed only on cores 1 and 3; starts on 1.
+        sys.spawn_task(Task::new(tid, cpu_profile(u64::MAX / 4), CoreId(1)).with_affinity(0b1010));
+        sys.set_core_online(CoreId(1), false);
+        assert_eq!(sys.task(tid).core(), CoreId(3), "affinity respected");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot offline the last online core")]
+    fn last_core_cannot_go_offline() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        for j in 0..4 {
+            sys.set_core_online(CoreId(j), false);
+        }
+    }
+
+    #[test]
+    fn migration_failure_rolls_per_attempt() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        sys.set_migration_failure(1.0, 7);
+        let mut alloc = Allocation::new();
+        alloc.assign(tid, CoreId(3));
+        let applied = sys.apply_allocation(&alloc);
+        assert_eq!(
+            applied.rejected,
+            vec![(tid, CoreId(3), MigrationReject::TransientFailure)]
+        );
+        assert_eq!(sys.task(tid).core(), CoreId(0), "task stayed put");
+        sys.set_migration_failure(0.0, 7);
+        let applied = sys.apply_allocation(&alloc);
+        assert_eq!(applied.migrated.len(), 1);
+    }
+
+    #[test]
+    fn throttled_core_does_less_work() {
+        let run = |duty: f64| {
+            let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+            sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(1));
+            sys.set_core_throttle(CoreId(1), duty);
+            let mut nb = NullBalancer;
+            sys.run_epoch(&mut nb);
+            sys.sensors().total_instructions()
+        };
+        let full = run(1.0);
+        let half = run(0.5);
+        assert!(
+            (half as f64) < 0.6 * full as f64 && (half as f64) > 0.4 * full as f64,
+            "50% duty should halve committed work: {half} vs {full}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_corrupts_report_not_ground_truth() {
+        use archsim::FaultKind;
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        sys.spawn_on(cpu_profile(u64::MAX / 4), CoreId(0));
+        sys.set_fault_plan(
+            FaultPlan::new().inject(0, None, FaultKind::StuckCounters { prob: 1.0 }),
+            99,
+        );
+        let mut nb = NullBalancer;
+        let report = sys.run_epoch(&mut nb);
+        assert_eq!(
+            report.cores[0].counters.instructions, 0,
+            "stuck counters read as zero deltas"
+        );
+        assert!(
+            sys.sensors().total_instructions() > 0,
+            "ground truth keeps advancing"
+        );
+        assert!(sys.fault_stats().unwrap().stuck_core_epochs >= 4);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let run = |harness: bool| {
+            let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+            if harness {
+                sys.set_fault_plan(FaultPlan::new(), 1234);
+            }
+            sys.spawn_on(
+                cpu_profile(50_000_000).with_sleep(SleepPattern::new(500_000, 700_000)),
+                CoreId(0),
+            );
+            sys.spawn_on(cpu_profile(80_000_000), CoreId(1));
+            let mut nb = NullBalancer;
+            let mut fingerprints = Vec::new();
+            for _ in 0..3 {
+                let report = sys.run_epoch(&mut nb);
+                fingerprints.push(serde_json::to_string(&report).expect("serialize"));
+            }
+            fingerprints
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
