@@ -452,6 +452,7 @@ impl Platform {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -86,7 +86,7 @@ impl CounterSample {
         if active == 0 {
             0.0
         } else {
-            self.instructions as f64 / active as f64
+            count_to_f64(self.instructions) / count_to_f64(active)
         }
     }
 
@@ -168,11 +168,33 @@ impl CounterSample {
     }
 }
 
+/// Converts an event count to `f64`, the one sanctioned `u64 -> f64`
+/// crossing in the accounting paths (smartlint rule N1).
+///
+/// Counter deltas over a scheduling epoch stay far below 2^53, so the
+/// conversion is exact; the debug assertion documents (and, in tests,
+/// enforces) that envelope rather than letting a silent rounding creep
+/// into energy totals.
+pub fn count_to_f64(n: u64) -> f64 {
+    debug_assert!(
+        n <= (1 << f64::MANTISSA_DIGITS),
+        "count {n} exceeds the exact f64 integer range"
+    );
+    // smartlint: allow(numeric-cast, "the sanctioned u64->f64 crossing; exactness debug-asserted above")
+    n as f64
+}
+
+/// Converts a collection length to `f64` exactly (see [`count_to_f64`]).
+pub fn len_to_f64(n: usize) -> f64 {
+    // smartlint: allow(numeric-cast, "usize -> u64 is lossless on every supported target")
+    count_to_f64(n as u64)
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
     } else {
-        num as f64 / den as f64
+        count_to_f64(num) / count_to_f64(den)
     }
 }
 
@@ -250,6 +272,7 @@ impl std::iter::Sum for CounterSample {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

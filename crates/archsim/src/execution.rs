@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::core_type::CoreConfig;
-use crate::counters::CounterSample;
+use crate::counters::{count_to_f64, CounterSample};
 use crate::pipeline::{estimate, PipelineEstimate};
 use crate::workload::WorkloadCharacteristics;
 
@@ -34,7 +34,7 @@ impl ExecutionSlice {
         if self.duration_ns == 0 {
             0.0
         } else {
-            self.instructions as f64 / (self.duration_ns as f64 * 1e-9)
+            count_to_f64(self.instructions) / (count_to_f64(self.duration_ns) * 1e-9)
         }
     }
 }
@@ -71,7 +71,17 @@ pub fn run_slice(
 /// cast keeps slice synthesis out of the hot-loop profile.
 #[inline]
 fn round_count(x: f64) -> u64 {
+    // smartlint: allow(numeric-cast, "the sanctioned f64->u64 rounding helper; inputs are non-negative counts")
     (x + 0.5) as u64
+}
+
+/// Rounds a non-negative quantity up to the next integer; companion to
+/// [`round_count`] for deadline-style values where rounding down would
+/// report completion before the last instruction retires.
+#[inline]
+fn ceil_count(x: f64) -> u64 {
+    // smartlint: allow(numeric-cast, "the sanctioned f64->u64 ceiling helper; inputs are non-negative durations")
+    x.ceil() as u64
 }
 
 /// Builds the slice result from a pre-computed pipeline estimate; split
@@ -84,7 +94,7 @@ pub fn synthesize(
     duration_ns: u64,
 ) -> ExecutionSlice {
     let w = workload.clamped();
-    let cycles = duration_ns as f64 * 1e-9 * core.freq_hz;
+    let cycles = count_to_f64(duration_ns) * 1e-9 * core.freq_hz;
     let instructions_f = est.ipc * cycles;
     let instructions = round_count(instructions_f);
 
@@ -105,15 +115,15 @@ pub fn synthesize(
         instructions,
         mem_instructions,
         branch_instructions,
-        branch_mispredicts: round_count(branch_instructions as f64 * est.branch_miss_rate),
+        branch_mispredicts: round_count(count_to_f64(branch_instructions) * est.branch_miss_rate),
         l1i_accesses: instructions,
         l1i_misses: round_count(instructions_f * est.l1i_miss_rate),
         l1d_accesses: mem_instructions,
-        l1d_misses: round_count(mem_instructions as f64 * est.l1d_miss_rate),
+        l1d_misses: round_count(count_to_f64(mem_instructions) * est.l1d_miss_rate),
         itlb_accesses: instructions,
         itlb_misses: round_count(instructions_f * est.itlb_miss_rate),
         dtlb_accesses: mem_instructions,
-        dtlb_misses: round_count(mem_instructions as f64 * est.dtlb_miss_rate),
+        dtlb_misses: round_count(count_to_f64(mem_instructions) * est.dtlb_miss_rate),
     };
 
     ExecutionSlice {
@@ -143,10 +153,12 @@ pub fn time_to_complete_ns(
 /// floored at 1 IPS so the division can never produce infinity.
 pub fn time_to_complete_ns_with(est: &PipelineEstimate, freq_hz: f64, instructions: u64) -> u64 {
     let ips = (est.ipc * freq_hz).max(1.0);
-    ((instructions as f64 / ips) * 1e9).ceil() as u64
+    // smartlint: allow(numeric-cast, "sentinel near-u64::MAX budgets exceed the exact f64 range; a completion-time upper bound tolerates that rounding")
+    ceil_count(instructions as f64 / ips * 1e9)
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -643,6 +643,7 @@ impl SensorInterface for FaultySensorBank {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -40,6 +40,10 @@
 //! - [`sensing`]: the counter/power sensor bank the OS samples
 //! - [`faults`]: deterministic seeded sensor fault injection
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod branch;
 pub mod cache;
 pub mod core_type;
@@ -52,7 +56,7 @@ pub mod sensing;
 pub mod workload;
 
 pub use core_type::{CoreConfig, CoreId, CoreTypeId, Platform};
-pub use counters::CounterSample;
+pub use counters::{count_to_f64, len_to_f64, CounterSample};
 pub use execution::{
     run_slice, synthesize, time_to_complete_ns, time_to_complete_ns_with, ExecutionSlice,
 };

@@ -151,12 +151,14 @@ impl EstimateCache {
     /// hook for operating-point changes (belt to the DVFS-level key's
     /// braces: it also keeps the table from accumulating dead levels).
     pub fn invalidate_core_type(&mut self, core_type: u32) {
+        // smartlint: allow(unordered-iter, "retain filters by a pure key predicate; the surviving set is independent of visit order")
         self.map.retain(|k, _| k.core_type != core_type);
     }
 
     /// Drops every entry for `workload_id` (e.g. when a task exits and
     /// can never be dispatched again).
     pub fn invalidate_workload(&mut self, workload_id: u64) {
+        // smartlint: allow(unordered-iter, "retain filters by a pure key predicate; the surviving set is independent of visit order")
         self.map.retain(|k, _| k.workload_id != workload_id);
     }
 
@@ -199,6 +201,7 @@ impl EstimateCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -166,6 +166,7 @@ pub fn estimate(workload: &WorkloadCharacteristics, core: &CoreConfig) -> Pipeli
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use crate::core_type::CoreConfig;

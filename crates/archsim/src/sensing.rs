@@ -99,6 +99,7 @@ impl SensorInterface for SensorBank {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use crate::core_type::Platform;

@@ -167,6 +167,7 @@ impl Default for WorkloadCharacteristics {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -66,7 +66,11 @@ fn workloads_for(spec: &str) -> Vec<WorkloadProfile> {
         if let Some(rest) = part.strip_prefix("imb:") {
             out.push(imb_by_name(rest).unwrap_or_else(|| panic!("unknown IMB {rest:?}")));
         } else if let Some(n) = part.strip_prefix("mix").and_then(|s| s.parse::<u8>().ok()) {
-            out.extend(MixId(n).members());
+            out.extend(
+                MixId(n)
+                    .try_members()
+                    .unwrap_or_else(|| panic!("unknown mix {part:?} (valid: mix1..mix6)")),
+            );
         } else {
             out.push(
                 workloads::parsec::by_name(part)

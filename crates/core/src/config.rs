@@ -118,6 +118,7 @@ impl Default for SmartBalanceConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -439,6 +439,7 @@ pub fn predict_free_greedy(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use crate::sense::Features;

@@ -93,6 +93,7 @@ pub fn build_matrices(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use crate::sense::{features_from_counters, ThreadSense};

@@ -66,6 +66,10 @@
 //! gets a seed derived from its queue index (`tests/suite.rs` pins
 //! this down).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod anneal;
 pub mod balance;
 pub mod config;

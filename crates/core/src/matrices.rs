@@ -195,6 +195,7 @@ impl CharacterizationMatrices {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

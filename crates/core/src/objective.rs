@@ -318,6 +318,7 @@ impl<'a, 'b> IncrementalObjective<'a, 'b> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use archsim::CoreTypeId;

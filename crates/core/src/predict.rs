@@ -463,6 +463,7 @@ pub fn evaluate_pair(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -385,6 +385,7 @@ fn default_features(src_freq_hz: f64) -> Features {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use kernelsim::{CoreEpochStats, TaskEpochStats};

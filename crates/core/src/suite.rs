@@ -32,7 +32,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use kernelsim::LoadBalancer;
@@ -185,6 +185,23 @@ impl SuiteReport {
         }
     }
 
+    /// A copy with every execution-metadata field zeroed — wall-clock
+    /// durations and the worker count, i.e. *how* the suite ran rather
+    /// than what it computed. Everything left is required to be
+    /// bit-identical across runs of the same jobs, whatever the pool
+    /// size, so two canonicalized reports must serialize to the same
+    /// bytes. The determinism regression tests compare exactly this.
+    pub fn canonicalized(&self) -> SuiteReport {
+        let mut report = self.clone();
+        report.workers = 0;
+        report.wall_s = 0.0;
+        report.serial_wall_s = 0.0;
+        for job in &mut report.jobs {
+            job.wall_s = 0.0;
+        }
+        report
+    }
+
     /// Jobs completed per wall-clock second.
     pub fn throughput_jobs_per_s(&self) -> f64 {
         if self.wall_s <= 0.0 {
@@ -322,6 +339,7 @@ impl ExperimentSuite {
     /// results in job order. Jobs are handed out through a shared
     /// counter, so workers stay busy regardless of per-job cost; the
     /// per-job seeds make the outcome identical for any pool size.
+    #[allow(clippy::expect_used)] // slot-fill invariant justified inline
     pub fn run(&self) -> SuiteReport {
         let start = Instant::now();
         let total = self.jobs.len();
@@ -349,15 +367,19 @@ impl ExperimentSuite {
                             wall_s: outcome.wall_s,
                         });
                     }
-                    slots.lock().expect("suite results poisoned")[index] = Some(outcome);
+                    // A panicking sibling worker poisons the mutex but
+                    // cannot corrupt the Vec (each slot is written once,
+                    // under the lock); recover the data and keep going.
+                    slots.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(outcome);
                 });
             }
         });
 
         let jobs: Vec<JobResult> = slots
             .into_inner()
-            .expect("suite results poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
+            // smartlint: allow(panic, "the atomic job counter hands every index below count to exactly one worker, so each slot is filled")
             .map(|slot| slot.expect("every job index was executed"))
             .collect();
         let serial_wall_s = jobs.iter().map(|j| j.wall_s).sum();
@@ -374,6 +396,7 @@ impl ExperimentSuite {
 /// `workers` threads and returns the results in index order — the
 /// suite's work-distribution core, reusable for non-experiment sweeps
 /// (predictor-error grids, annealer-quality scans, ...).
+#[allow(clippy::expect_used)] // slot-fill invariant justified inline
 pub fn parallel_indexed<T, F>(count: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -393,14 +416,15 @@ where
                     break;
                 }
                 let value = f(index);
-                slots.lock().expect("parallel results poisoned")[index] = Some(value);
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(value);
             });
         }
     });
     slots
         .into_inner()
-        .expect("parallel results poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
+        // smartlint: allow(panic, "the atomic index counter hands every index below count to exactly one worker, so each slot is filled")
         .map(|slot| slot.expect("every index was executed"))
         .collect()
 }

@@ -275,6 +275,7 @@ impl LoadBalancer for NullBalancer {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -30,6 +30,10 @@
 //! println!("efficiency: {:.3e} instr/J", stats.instructions_per_joule());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod balancer;
 pub mod cfs;
 pub mod stats;

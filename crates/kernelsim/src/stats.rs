@@ -100,6 +100,7 @@ impl SystemStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use crate::balancer::NullBalancer;

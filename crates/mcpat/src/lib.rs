@@ -24,6 +24,10 @@
 //! assert!(huge.power_w(PowerState::Sleeping) < 0.2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod energy;
 pub mod model;
 pub mod sensor;

@@ -122,11 +122,12 @@ impl CorePowerModel {
     /// Energy consumed over `duration_ns` nanoseconds in `state`,
     /// joules.
     pub fn energy_j(&self, state: PowerState, duration_ns: u64) -> f64 {
-        self.power_w(state) * duration_ns as f64 * 1e-9
+        self.power_w(state) * archsim::count_to_f64(duration_ns) * 1e-9
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

@@ -74,7 +74,7 @@ impl PowerSensor {
     /// power.
     pub fn read_w(&mut self, state: PowerState) -> f64 {
         let truth = self.model.power_w(state);
-        if self.noise_sigma == 0.0 {
+        if self.noise_sigma <= 0.0 {
             return truth;
         }
         let noise = self.noise_sigma * self.standard_normal_ish();
@@ -89,6 +89,7 @@ impl PowerSensor {
         x ^= x >> 27;
         self.rng_state = x;
         let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        // smartlint: allow(numeric-cast, "53-bit value and 2^53 are both exact in f64; the standard bits-to-unit-interval idiom")
         bits as f64 / (1u64 << 53) as f64
     }
 
@@ -101,6 +102,7 @@ impl PowerSensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
     use archsim::CoreConfig;

@@ -69,7 +69,7 @@ impl ThermalModel {
     ///
     /// Panics if `core` is out of range.
     pub fn step(&mut self, core: CoreId, power_w: f64, duration_ns: u64) -> f64 {
-        let dt = duration_ns as f64 * 1e-9;
+        let dt = archsim::count_to_f64(duration_ns) * 1e-9;
         let steady = AMBIENT_C + power_w.max(0.0) * self.r_th[core.0];
         // Exact first-order response over the step (stable for any dt).
         let alpha = 1.0 - (-dt / TAU_S).exp();
@@ -94,6 +94,7 @@ impl ThermalModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact assertions are the determinism contract
 mod tests {
     use super::*;
 

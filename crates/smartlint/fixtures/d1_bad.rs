@@ -1,0 +1,16 @@
+// Fixture: D1 violations. Analyzed as crates/core/src/sense.rs.
+// A HashMap whose iteration order escapes into returned data.
+use std::collections::HashMap;
+
+pub fn order_leaks() -> Vec<u64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push(k + v);
+    }
+    for k in counts.keys() {
+        out.push(*k);
+    }
+    out
+}

@@ -1,0 +1,19 @@
+// Fixture: D1-clean. Analyzed as crates/core/src/sense.rs.
+// Keyed lookups stay legal; ordered containers iterate freely; an
+// order-independent retain carries a justification annotation.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn keyed_lookups_are_fine(cache: &mut HashMap<u64, u64>) -> Option<u64> {
+    cache.insert(1, 2);
+    cache.remove(&3);
+    cache.get(&1).copied()
+}
+
+pub fn ordered_iteration_is_fine(sorted: &BTreeMap<u64, u64>) -> u64 {
+    sorted.iter().map(|(k, v)| k + v).sum()
+}
+
+pub fn annotated_retain(cache: &mut HashMap<u64, u64>) {
+    // smartlint: allow(unordered-iter, "retain filters by key predicate; visit order cannot affect the surviving set")
+    cache.retain(|k, _| *k > 10);
+}

@@ -1,0 +1,7 @@
+// Fixture: D2 violations. Analyzed as crates/kernelsim/src/system.rs.
+// Wall-clock time and environment reads inside simulation code.
+pub fn timed_epoch() -> u64 {
+    let start = std::time::Instant::now();
+    let budget: u64 = std::env::var("EPOCH_BUDGET").map_or(0, |v| v.parse().unwrap_or(0));
+    start.elapsed().as_nanos() as u64 + budget
+}

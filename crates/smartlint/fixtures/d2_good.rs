@@ -1,0 +1,32 @@
+// Fixture: D2-clean. Analyzed as crates/kernelsim/src/system.rs.
+// Deterministic simulated time and a seeded random stream; tests may
+// time themselves freely.
+pub struct Clock {
+    now_ns: u64,
+    rng_state: u64,
+}
+
+impl Clock {
+    pub fn advance(&mut self, delta_ns: u64) -> u64 {
+        self.now_ns = self.now_ns.saturating_add(delta_ns);
+        self.now_ns
+    }
+
+    pub fn next_draw(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_wall_clocks() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: H1 violation. Analyzed as crates/archsim/src/lib.rs.
+//! A crate root with neither `#![forbid(unsafe_code)]` nor
+//! `#![deny(missing_docs)]`.
+
+pub mod something {}

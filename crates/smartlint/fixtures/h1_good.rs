@@ -1,0 +1,8 @@
+//! Fixture: H1-clean. Analyzed as crates/archsim/src/lib.rs.
+//! Carries the full agreed header-lint set.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// A documented module.
+pub mod something {}

@@ -1,0 +1,9 @@
+// Fixture: N1 violations. Analyzed as crates/archsim/src/counters.rs.
+// Bare float->int and int->float casts in accounting code.
+pub fn lossy_total(x: f64) -> u64 {
+    x as u64
+}
+
+pub fn unchecked_ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den as f64
+}

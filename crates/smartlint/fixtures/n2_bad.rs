@@ -1,0 +1,10 @@
+// Fixture: N2 violations. Analyzed as crates/mcpat/src/model.rs.
+// f32 in a power model: accumulated energy error grows past
+// measurement noise.
+pub struct PowerSample {
+    pub watts: f32,
+}
+
+pub fn energy_j(p: &PowerSample, dt_s: f32) -> f32 {
+    p.watts * dt_s
+}

@@ -1,0 +1,8 @@
+// Fixture: N2-clean. Analyzed as crates/mcpat/src/model.rs.
+pub struct PowerSample {
+    pub watts: f64,
+}
+
+pub fn energy_j(p: &PowerSample, dt_s: f64) -> f64 {
+    p.watts * dt_s
+}

@@ -1,0 +1,159 @@
+//! The finding baseline: pre-existing violations burned down
+//! explicitly rather than grandfathered invisibly.
+//!
+//! A baseline entry keys on `(rule, file, excerpt)` — deliberately
+//! *not* on the line number, so unrelated edits above a baselined site
+//! don't invalidate it, while any edit to the offending line itself
+//! surfaces the finding again. Matching is multiset-style: two
+//! identical offending lines need two entries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rules::Finding;
+
+/// One suppressed pre-existing finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule ID the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Trimmed source line of the violation (the matching key).
+    pub excerpt: String,
+}
+
+/// The checked-in baseline file (`smartlint.baseline.json`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version, bumped on breaking changes.
+    pub version: u32,
+    /// Suppressed findings.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Current baseline format version.
+    pub const VERSION: u32 = 1;
+
+    /// Builds a baseline that suppresses exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        Baseline {
+            version: Self::VERSION,
+            entries: findings
+                .iter()
+                .map(|f| BaselineEntry {
+                    rule: f.rule.clone(),
+                    file: f.file.clone(),
+                    excerpt: f.excerpt.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses the JSON form; an empty or whitespace-only file is an
+    /// empty baseline.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text.trim().is_empty() {
+            return Ok(Baseline::default());
+        }
+        let b: Baseline =
+            serde_json::from_str(text).map_err(|e| format!("invalid baseline JSON: {e}"))?;
+        if b.version > Self::VERSION {
+            return Err(format!(
+                "baseline version {} is newer than this smartlint ({})",
+                b.version,
+                Self::VERSION
+            ));
+        }
+        Ok(b)
+    }
+
+    /// Serializes to pretty JSON (the checked-in form).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Marks findings covered by this baseline (`baselined = true`),
+    /// consuming entries multiset-style, and returns the stale entries
+    /// — baseline lines whose finding no longer exists and should be
+    /// deleted from the file.
+    pub fn apply(&self, findings: &mut [Finding]) -> Vec<BaselineEntry> {
+        let mut unused: Vec<(bool, &BaselineEntry)> =
+            self.entries.iter().map(|e| (false, e)).collect();
+        for f in findings.iter_mut() {
+            if let Some(slot) = unused.iter_mut().find(|(used, e)| {
+                !*used && e.rule == f.rule && e.file == f.file && e.excerpt == f.excerpt
+            }) {
+                slot.0 = true;
+                f.baselined = true;
+            }
+        }
+        unused
+            .into_iter()
+            .filter(|(used, _)| !*used)
+            .map(|(_, e)| e.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_source;
+
+    const BAD: &str = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+
+    #[test]
+    fn add_suppress_remove_round_trip() {
+        let path = "crates/archsim/src/demo.rs";
+        // Add: the finding is new.
+        let mut findings = analyze_source(path, BAD);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].baselined);
+
+        // Suppress: a baseline built from it covers it, via JSON.
+        let baseline = Baseline::from_findings(&findings);
+        let reparsed = Baseline::parse(&baseline.to_json().expect("serialize"))
+            .expect("baseline JSON round-trips");
+        assert_eq!(reparsed, baseline);
+        let stale = reparsed.apply(&mut findings);
+        assert!(stale.is_empty());
+        assert!(findings[0].baselined);
+
+        // Remove: once the source is fixed the entry reports as stale.
+        let mut fixed = analyze_source(path, "pub fn f(x: Option<u8>) -> Option<u8> { x }\n");
+        let stale = reparsed.apply(&mut fixed);
+        assert!(fixed.is_empty());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "P1");
+    }
+
+    #[test]
+    fn matching_is_multiset() {
+        // Two byte-identical offending lines: one entry must suppress
+        // only one of them.
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let path = "crates/archsim/src/demo.rs";
+        let mut findings = analyze_source(path, src);
+        assert_eq!(findings.len(), 2);
+        // One entry only suppresses one of two identical findings.
+        let one = Baseline {
+            version: Baseline::VERSION,
+            entries: vec![BaselineEntry {
+                rule: "P1".into(),
+                file: path.into(),
+                excerpt: findings[0].excerpt.clone(),
+            }],
+        };
+        let stale = one.apply(&mut findings);
+        assert!(stale.is_empty());
+        assert_eq!(findings.iter().filter(|f| f.baselined).count(), 1);
+    }
+
+    #[test]
+    fn empty_file_is_empty_baseline() {
+        let b = Baseline::parse("  \n").expect("empty ok");
+        assert!(b.entries.is_empty());
+        assert!(Baseline::parse("{ not json").is_err());
+    }
+}

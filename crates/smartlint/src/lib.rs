@@ -1,0 +1,134 @@
+//! # smartlint — workspace static analysis for SmartBalance
+//!
+//! The workspace's closed sense→predict→balance loop guarantees
+//! *bit-reproducible* results: cached-vs-uncached epoch streams are
+//! byte-identical, an empty fault plan is bit-transparent, and suite
+//! reruns fingerprint identically. Those guarantees rest on invariants
+//! no off-the-shelf tool enforces — no unordered-container iteration
+//! leaking into reports, no wall-clock or ambient randomness in
+//! simulation code, no lossy casts in counter/energy accounting, and
+//! disciplined panic hygiene in library crates.
+//!
+//! smartlint is a dependency-free static-analysis pass (hand-rolled
+//! lexer, path-scoped rules) that walks every workspace source and
+//! enforces exactly those invariants. See [`rules::RULES`] for the
+//! rule set and `DESIGN.md` for the rationale.
+//!
+//! Run it locally with:
+//!
+//! ```text
+//! cargo run -p smartlint -- --deny
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use rules::{analyze_source, rule_info, Finding, RuleInfo, RULES};
+
+/// The outcome of analyzing a workspace tree.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Every finding, in path order, with `baselined` already set when
+    /// a baseline was applied.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Baseline entries that no longer match any finding.
+    pub stale_baseline: Vec<BaselineEntry>,
+}
+
+impl Analysis {
+    /// Findings not covered by the baseline — what `--deny` fails on.
+    pub fn new_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.baselined)
+    }
+}
+
+/// Directories (workspace-relative) that are never scanned.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github"];
+
+/// Walks the workspace at `root`, analyzes every tracked `.rs` file
+/// and applies `baseline`. Files are visited in sorted path order so
+/// output (and JSON reports) are deterministic.
+pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut analysis = Analysis::default();
+    for rel in &files {
+        let source =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("failed to read {rel}: {e}"))?;
+        analysis.findings.extend(analyze_source(rel, &source));
+        analysis.files_scanned += 1;
+    }
+    analysis.stale_baseline = baseline.apply(&mut analysis.findings);
+    Ok(analysis)
+}
+
+/// Recursively collects workspace-relative `.rs` paths (forward
+/// slashes), skipping vendored code, build output and smartlint's own
+/// lint fixtures (they are deliberately-bad test data, not sources).
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel = workspace_rel(root, &path);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name)
+                || name.starts_with('.')
+                || rel == "crates/smartlint/fixtures"
+            {
+                continue;
+            }
+            collect_rust_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn workspace_rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_skips_vendor_and_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let analysis = analyze_workspace(&root, &Baseline::default()).expect("workspace analyzes");
+        assert!(analysis.files_scanned > 40, "scans the whole workspace");
+        for f in &analysis.findings {
+            assert!(!f.file.starts_with("vendor/"), "vendor is skipped: {f:?}");
+            assert!(
+                !f.file.starts_with("crates/smartlint/fixtures/"),
+                "fixtures are skipped: {f:?}"
+            );
+        }
+    }
+}

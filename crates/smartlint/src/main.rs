@@ -1,0 +1,205 @@
+//! smartlint CLI: scan the workspace, print findings, emit JSON,
+//! maintain the baseline and gate CI.
+//!
+//! ```text
+//! smartlint [--root DIR] [--baseline FILE] [--deny] [--json FILE]
+//!           [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (or warn-only), `1` non-baselined findings
+//! under `--deny`, `2` usage or I/O error.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serde::Serialize;
+use smartlint::{analyze_workspace, Analysis, Baseline, BaselineEntry, Finding, RULES};
+
+/// The machine-readable report emitted by `--json`.
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Report format version.
+    version: u32,
+    /// Number of `.rs` files scanned.
+    files_scanned: usize,
+    /// Every finding (baselined ones included, flagged as such).
+    findings: Vec<Finding>,
+    /// Findings not covered by the baseline.
+    new_count: usize,
+    /// Findings suppressed by the baseline.
+    baselined_count: usize,
+    /// Baseline entries that matched nothing and should be removed.
+    stale_baseline: Vec<BaselineEntry>,
+}
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    deny: bool,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        deny: false,
+        json: None,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory")?,
+                ))
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline requires a file")?,
+                ))
+            }
+            "--json" => opts.json = Some(PathBuf::from(it.next().ok_or("--json requires a file")?)),
+            "--deny" => opts.deny = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: smartlint [--root DIR] [--baseline FILE] [--deny] [--json FILE] \
+                     [--write-baseline] [--list-rules]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory whose `Cargo.toml` declares `[workspace]`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory".to_string());
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        for r in RULES {
+            println!("{:3}  allow({:14})  {}", r.id, r.key, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => find_root()?,
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("smartlint.baseline.json"));
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(_) => Baseline::default(),
+    };
+
+    let analysis = analyze_workspace(&root, &baseline)?;
+
+    if opts.write_baseline {
+        let fresh = Baseline::from_findings(&analysis.findings);
+        fs::write(&baseline_path, fresh.to_json()? + "\n")
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        println!(
+            "smartlint: wrote {} entries to {}",
+            fresh.entries.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    print_findings(&analysis);
+
+    if let Some(json_path) = &opts.json {
+        let report = Report {
+            version: 1,
+            files_scanned: analysis.files_scanned,
+            new_count: analysis.new_findings().count(),
+            baselined_count: analysis.findings.iter().filter(|f| f.baselined).count(),
+            findings: analysis.findings.clone(),
+            stale_baseline: analysis.stale_baseline.clone(),
+        };
+        let text =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
+        fs::write(json_path, text + "\n")
+            .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    }
+
+    let new_count = analysis.new_findings().count();
+    if opts.deny && new_count > 0 {
+        eprintln!("smartlint: {new_count} non-baselined finding(s) — failing (--deny)");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_findings(analysis: &Analysis) {
+    for f in &analysis.findings {
+        let tag = if f.baselined { " (baselined)" } else { "" };
+        println!(
+            "{}: {}:{}{}\n    {}",
+            f.rule, f.file, f.line, tag, f.message
+        );
+        if !f.excerpt.is_empty() {
+            println!("    | {}", f.excerpt);
+        }
+    }
+    for e in &analysis.stale_baseline {
+        println!(
+            "stale baseline entry ({} in {}): no longer matches — remove it\n    | {}",
+            e.rule, e.file, e.excerpt
+        );
+    }
+    let new_count = analysis.new_findings().count();
+    println!(
+        "smartlint: {} file(s), {} finding(s) ({} new, {} baselined), {} stale baseline entr{}",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        new_count,
+        analysis.findings.len() - new_count,
+        analysis.stale_baseline.len(),
+        if analysis.stale_baseline.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
+    );
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("smartlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

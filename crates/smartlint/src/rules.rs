@@ -1,0 +1,795 @@
+//! The lint rules and the per-file analysis pass.
+//!
+//! Every rule has a stable ID (`D1`, `D2`, `N1`, `N2`, `P1`, `H1`,
+//! plus `A0` for malformed annotations), an annotation key for
+//! suppression, and a path scope — rules only fire where the invariant
+//! they protect actually matters. See `DESIGN.md` ("Static analysis &
+//! determinism rules") for the rationale behind each rule and its tie
+//! to the workspace's bit-parity guarantees.
+//!
+//! # Annotation grammar
+//!
+//! A finding is suppressed by a justification comment on the same line
+//! or the line directly above:
+//!
+//! ```text
+//! // smartlint: allow(<key>, "<why this site is sound>")
+//! ```
+//!
+//! The reason string is mandatory and must be non-empty; a `smartlint:`
+//! comment that does not parse is itself reported (rule `A0`) so a
+//! typo cannot silently disable enforcement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule ID (`D1`, `D2`, `N1`, `N2`, `P1`, `H1`, `A0`).
+    pub rule: String,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human explanation of what is wrong and how to fix it.
+    pub message: String,
+    /// The trimmed source line, used as the baseline matching key.
+    pub excerpt: String,
+    /// Whether a baseline entry covers this finding.
+    pub baselined: bool,
+}
+
+/// Static description of one rule, for `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule ID.
+    pub id: &'static str,
+    /// The `allow(<key>, ...)` annotation key.
+    pub key: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule smartlint enforces, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        key: "unordered-iter",
+        summary: "no HashMap/HashSet iteration in archsim/kernelsim/core (keyed lookups stay legal)",
+    },
+    RuleInfo {
+        id: "D2",
+        key: "nondeterminism",
+        summary: "no wall-clock, ambient randomness or env-dependent values outside bench/suite timing code",
+    },
+    RuleInfo {
+        id: "N1",
+        key: "numeric-cast",
+        summary: "no bare `as` numeric casts in counter/energy accounting files; use the sanctioned helpers",
+    },
+    RuleInfo {
+        id: "N2",
+        key: "float-width",
+        summary: "no f32 in power/energy paths; all accounting is f64",
+    },
+    RuleInfo {
+        id: "P1",
+        key: "panic",
+        summary: "unwrap()/expect()/panic! in library code requires a justification annotation",
+    },
+    RuleInfo {
+        id: "H1",
+        key: "header",
+        summary: "crate roots must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]",
+    },
+    RuleInfo {
+        id: "A0",
+        key: "annotation",
+        summary: "smartlint annotations must parse and carry a non-empty reason",
+    },
+];
+
+/// Looks up a rule by ID.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+// ---------------------------------------------------------------------
+// Path scopes
+// ---------------------------------------------------------------------
+
+/// The simulation crates whose iteration order and time sources feed
+/// epoch reports and allocation decisions.
+const SIM_CRATES: &[&str] = &[
+    "crates/archsim/src/",
+    "crates/kernelsim/src/",
+    "crates/core/src/",
+];
+
+/// Library crates subject to panic hygiene (P1) and determinism (D2).
+/// `crates/bench` is the timing/CLI harness and exempt by design.
+const LIB_CRATES: &[&str] = &[
+    "crates/archsim/src/",
+    "crates/kernelsim/src/",
+    "crates/mcpat/src/",
+    "crates/workloads/src/",
+    "crates/core/src/",
+    "crates/smartlint/src/",
+];
+
+/// Counter/energy accounting files where every numeric `as` cast must
+/// go through a sanctioned helper (N1).
+const NUMERIC_FILES: &[&str] = &[
+    "crates/archsim/src/counters.rs",
+    "crates/archsim/src/execution.rs",
+    "crates/mcpat/src/",
+    "crates/core/src/estimate.rs",
+];
+
+/// Power/energy-path files where `f32` is banned outright (N2).
+const POWER_FILES: &[&str] = &[
+    "crates/mcpat/src/",
+    "crates/core/src/objective.rs",
+    "crates/kernelsim/src/stats.rs",
+];
+
+fn in_scope(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| {
+        if p.ends_with(".rs") {
+            path == *p
+        } else {
+            path.starts_with(p)
+        }
+    })
+}
+
+/// Binary roots are exempt from P1/D2: a CLI may panic on bad input
+/// and read clocks/args/env freely.
+fn is_binary_root(path: &str) -> bool {
+    path.ends_with("/main.rs") || path.contains("/src/bin/")
+}
+
+fn d1_applies(path: &str) -> bool {
+    in_scope(path, SIM_CRATES)
+}
+
+fn d2_applies(path: &str) -> bool {
+    in_scope(path, LIB_CRATES) && !is_binary_root(path) && path != "crates/core/src/suite.rs"
+}
+
+fn n1_applies(path: &str) -> bool {
+    in_scope(path, NUMERIC_FILES)
+}
+
+fn n2_applies(path: &str) -> bool {
+    in_scope(path, POWER_FILES)
+}
+
+fn p1_applies(path: &str) -> bool {
+    in_scope(path, LIB_CRATES) && !is_binary_root(path)
+}
+
+fn h1_applies(path: &str) -> bool {
+    path.starts_with("crates/") && path.ends_with("/src/lib.rs")
+}
+
+// ---------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Annotation {
+    key: String,
+    line: u32,
+}
+
+/// Parses `smartlint:` comments into suppression annotations; comments
+/// that mention smartlint but do not parse become `A0` findings.
+fn collect_annotations(
+    comments: &[Comment],
+    path: &str,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments routinely *mention* the grammar (as this file
+        // does); only a plain comment whose body leads with
+        // `smartlint:` is an annotation.
+        let text = c.text.as_str();
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let body = text
+            .strip_prefix("//")
+            .or_else(|| text.strip_prefix("/*"))
+            .unwrap_or(text)
+            .trim_start();
+        let Some(rest) = body.strip_prefix("smartlint:").map(str::trim) else {
+            continue;
+        };
+        match parse_allow(rest) {
+            Some(key) if RULES.iter().any(|r| r.key == key) => {
+                out.push(Annotation { key, line: c.line })
+            }
+            Some(key) => findings.push(finding(
+                "A0",
+                path,
+                c.line,
+                lines,
+                format!("unknown smartlint rule key {key:?} in annotation"),
+            )),
+            None => findings.push(finding(
+                "A0",
+                path,
+                c.line,
+                lines,
+                "malformed smartlint annotation; expected `smartlint: allow(<key>, \"reason\")`"
+                    .to_string(),
+            )),
+        }
+    }
+    out
+}
+
+/// Parses `allow(<key>, "<reason>")`, returning the key. The reason is
+/// mandatory and must be a non-empty string literal.
+fn parse_allow(text: &str) -> Option<String> {
+    let body = text.strip_prefix("allow")?.trim_start();
+    let body = body.strip_prefix('(')?;
+    let close = body.rfind(')')?;
+    let body = &body[..close];
+    let comma = body.find(',')?;
+    let key = body[..comma].trim();
+    let reason = body[comma + 1..].trim();
+    let reason = reason.strip_prefix('"')?.strip_suffix('"')?;
+    if key.is_empty() || reason.trim().is_empty() {
+        return None;
+    }
+    Some(key.to_string())
+}
+
+fn suppressed(annotations: &[Annotation], key: &str, line: u32) -> bool {
+    annotations
+        .iter()
+        .any(|a| a.key == key && (a.line == line || a.line + 1 == line))
+}
+
+// ---------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items. Rules that
+/// protect runtime accounting (D2, N1, P1) skip these: tests may time
+/// themselves, cast freely in assertions and unwrap known-good values.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = match_test_attr(tokens, i) {
+            // Find the item's opening brace, then its matching close.
+            let mut j = attr_end;
+            while j < tokens.len() && !is_punct(&tokens[j], "{") {
+                j += 1;
+            }
+            let start_line = tokens[i].line;
+            let mut depth = 0i64;
+            while j < tokens.len() {
+                if is_punct(&tokens[j], "{") {
+                    depth += 1;
+                } else if is_punct(&tokens[j], "}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let end_line = tokens.get(j).map_or(u32::MAX, |t| t.line);
+            regions.push((start_line, end_line));
+            i = j.max(i) + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// If tokens at `i` start `#[cfg(test)]` or `#[test]`, returns the
+/// index one past the closing `]`.
+fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if !is_punct(tokens.get(i)?, "#") || !is_punct(tokens.get(i + 1)?, "[") {
+        return None;
+    }
+    let name = tokens.get(i + 2)?;
+    if name.kind != TokenKind::Ident {
+        return None;
+    }
+    match name.text.as_str() {
+        "test" if is_punct(tokens.get(i + 3)?, "]") => Some(i + 4),
+        "cfg" => {
+            // #[cfg(test)] exactly: cfg ( test ) ]
+            if is_punct(tokens.get(i + 3)?, "(")
+                && tokens.get(i + 4).is_some_and(|t| t.text == "test")
+                && is_punct(tokens.get(i + 5)?, ")")
+                && is_punct(tokens.get(i + 6)?, "]")
+            {
+                Some(i + 7)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn in_test_region(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+// ---------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------
+
+fn finding(rule: &str, path: &str, line: u32, lines: &[&str], message: String) -> Finding {
+    let excerpt = lines
+        .get(line.saturating_sub(1) as usize)
+        .map_or("", |l| l.trim())
+        .to_string();
+    Finding {
+        rule: rule.to_string(),
+        file: path.to_string(),
+        line,
+        message,
+        excerpt,
+        baselined: false,
+    }
+}
+
+/// Analyzes one file's source as if it lived at workspace-relative
+/// `path` (scoping is path-driven, which is what lets the fixture
+/// tests exercise every rule without touching the real tree).
+pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    let annotations = collect_annotations(&lexed.comments, path, &lines, &mut findings);
+    let regions = test_regions(&lexed.tokens);
+
+    if d1_applies(path) {
+        rule_d1(path, &lexed, &lines, &mut findings);
+    }
+    if d2_applies(path) {
+        rule_d2(path, &lexed, &lines, &regions, &mut findings);
+    }
+    if n1_applies(path) {
+        rule_n1(path, &lexed, &lines, &regions, &mut findings);
+    }
+    if n2_applies(path) {
+        rule_n2(path, &lexed, &lines, &mut findings);
+    }
+    if p1_applies(path) {
+        rule_p1(path, &lexed, &lines, &regions, &mut findings);
+    }
+    if h1_applies(path) {
+        rule_h1(path, &lexed, &mut findings);
+    }
+
+    // Apply suppressions, dedupe to one finding per (rule, line), and
+    // order by position for stable output.
+    let mut kept: Vec<Finding> = Vec::new();
+    for f in findings {
+        let key = rule_info(&f.rule).map_or("", |r| r.key);
+        if f.rule != "A0" && suppressed(&annotations, key, f.line) {
+            continue;
+        }
+        if kept.iter().any(|k| k.rule == f.rule && k.line == f.line) {
+            continue;
+        }
+        kept.push(f);
+    }
+    kept.sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    kept
+}
+
+/// D1 — unordered iteration. Collects identifiers declared with
+/// `HashMap`/`HashSet` types or constructors, then flags iteration
+/// method calls and `for … in` loops whose receiver is one of them.
+fn rule_d1(path: &str, lexed: &Lexed, lines: &[&str], findings: &mut Vec<Finding>) {
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "into_iter",
+        "into_keys",
+        "into_values",
+        "drain",
+        "retain",
+    ];
+    let toks = &lexed.tokens;
+    let mut names: Vec<String> = Vec::new();
+
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident
+            || (toks[i].text != "HashMap" && toks[i].text != "HashSet")
+        {
+            continue;
+        }
+        // Walk backwards over a path/type prefix (`std :: collections ::`,
+        // `&`, `mut`, `<` of generics) to the declared name: the nearest
+        // preceding `ident :` or `ident =`.
+        let mut j = i;
+        while j > 0 {
+            let prev = &toks[j - 1];
+            let skippable = is_punct(prev, ":")
+                || is_punct(prev, "&")
+                || is_punct(prev, "<")
+                || is_ident(prev, "std")
+                || is_ident(prev, "collections")
+                || is_ident(prev, "mut")
+                || is_ident(prev, "dyn");
+            if !skippable {
+                break;
+            }
+            j -= 1;
+            if is_punct(&toks[j], ":") && j > 0 && toks[j - 1].kind == TokenKind::Ident {
+                // `name : … HashMap` — a field, binding or parameter;
+                // but `seg :: HashMap` is a path, not a declaration.
+                let path_sep = j >= 2 && is_punct(&toks[j - 2], ":");
+                if !path_sep {
+                    names.push(toks[j - 1].text.clone());
+                }
+                break;
+            }
+        }
+        // `name = HashMap::new()` style.
+        if i >= 2 && is_punct(&toks[i - 1], "=") && toks[i - 2].kind == TokenKind::Ident {
+            names.push(toks[i - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+
+    for i in 0..toks.len() {
+        // Method-call form: `name . iter (`  /  `self . name . drain (`.
+        if toks[i].kind == TokenKind::Ident
+            && ITER_METHODS.contains(&toks[i].text.as_str())
+            && i >= 2
+            && is_punct(&toks[i - 1], ".")
+            && toks[i - 2].kind == TokenKind::Ident
+            && names.contains(&toks[i - 2].text)
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, "("))
+        {
+            findings.push(finding(
+                "D1",
+                path,
+                toks[i].line,
+                lines,
+                format!(
+                    "iteration over unordered {map} `{recv}.{m}()`: HashMap/HashSet visit order \
+                     is nondeterministic and must never reach reports, serialized output or \
+                     allocation decisions — use BTreeMap or a sorted Vec, or justify with \
+                     `// smartlint: allow(unordered-iter, \"…\")`",
+                    map = "container",
+                    recv = toks[i - 2].text,
+                    m = toks[i].text
+                ),
+            ));
+        }
+        // `for pat in <expr containing a map name> {`
+        if is_ident(&toks[i], "for") {
+            let mut j = i + 1;
+            while j < toks.len() && !is_ident(&toks[j], "in") {
+                j += 1;
+            }
+            let mut k = j + 1;
+            let mut offender: Option<&Token> = None;
+            while k < toks.len() && !is_punct(&toks[k], "{") {
+                if toks[k].kind == TokenKind::Ident && names.contains(&toks[k].text) {
+                    offender = Some(&toks[k]);
+                }
+                k += 1;
+            }
+            if let Some(t) = offender {
+                findings.push(finding(
+                    "D1",
+                    path,
+                    t.line,
+                    lines,
+                    format!(
+                        "`for … in` over unordered container `{}`: iteration order is \
+                         nondeterministic — use BTreeMap or a sorted Vec, or justify with \
+                         `// smartlint: allow(unordered-iter, \"…\")`",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// D2 — ambient nondeterminism: wall clocks, OS randomness, environment.
+fn rule_d2(
+    path: &str,
+    lexed: &Lexed,
+    lines: &[&str],
+    regions: &[(u32, u32)],
+    findings: &mut Vec<Finding>,
+) {
+    const BANNED: &[(&str, &str)] = &[
+        ("Instant", "wall-clock time"),
+        ("SystemTime", "wall-clock time"),
+        ("UNIX_EPOCH", "wall-clock time"),
+        ("thread_rng", "ambient randomness"),
+        ("getrandom", "ambient randomness"),
+        ("from_entropy", "ambient randomness"),
+        ("available_parallelism", "environment-dependent parallelism"),
+    ];
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test_region(regions, t.line) {
+            continue;
+        }
+        if let Some((_, what)) = BANNED.iter().find(|(name, _)| t.text == *name) {
+            findings.push(finding(
+                "D2",
+                path,
+                t.line,
+                lines,
+                format!(
+                    "`{}` introduces {what} into simulation code; results must be a pure \
+                     function of explicit seeds and inputs (timing belongs in crates/bench \
+                     or the suite harness)",
+                    t.text
+                ),
+            ));
+        }
+        // `rand` as a path segment (`use rand::…`, `rand::thread_rng`).
+        if t.text == "rand"
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, ":"))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, ":"))
+        {
+            findings.push(finding(
+                "D2",
+                path,
+                t.line,
+                lines,
+                "the `rand` crate is banned in simulation code; use the repo's seeded \
+                 splitmix64/xorshift streams"
+                    .to_string(),
+            ));
+        }
+        // `env :: var/vars/var_os/args` — environment reads.
+        if t.text == "env"
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, ":"))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, ":"))
+            && toks.get(i + 3).is_some_and(|n| {
+                matches!(
+                    n.text.as_str(),
+                    "var" | "vars" | "var_os" | "args" | "args_os"
+                )
+            })
+        {
+            findings.push(finding(
+                "D2",
+                path,
+                t.line,
+                lines,
+                "environment reads are banned in simulation code; thread configuration \
+                 through explicit config structs"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// N1 — bare numeric `as` casts in accounting files.
+fn rule_n1(
+    path: &str,
+    lexed: &Lexed,
+    lines: &[&str],
+    regions: &[(u32, u32)],
+    findings: &mut Vec<Finding>,
+) {
+    const NUMERIC_TYPES: &[&str] = &[
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+        "f32", "f64",
+    ];
+    let toks = &lexed.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if is_ident(&toks[i], "as")
+            && toks[i + 1].kind == TokenKind::Ident
+            && NUMERIC_TYPES.contains(&toks[i + 1].text.as_str())
+            && !in_test_region(regions, toks[i].line)
+        {
+            findings.push(finding(
+                "N1",
+                path,
+                toks[i].line,
+                lines,
+                format!(
+                    "bare `as {}` cast in a counter/energy accounting file: lossy conversions \
+                     silently corrupt totals — use `round_count`/`ceil_count`/`count_to_f64` \
+                     (archsim) or justify with `// smartlint: allow(numeric-cast, \"…\")`",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+}
+
+/// N2 — `f32` anywhere in power/energy paths.
+fn rule_n2(path: &str, lexed: &Lexed, lines: &[&str], findings: &mut Vec<Finding>) {
+    for t in &lexed.tokens {
+        let is_f32_type = t.kind == TokenKind::Ident && t.text == "f32";
+        let is_f32_literal = t.kind == TokenKind::Number && t.text.ends_with("f32");
+        if is_f32_type || is_f32_literal {
+            findings.push(finding(
+                "N2",
+                path,
+                t.line,
+                lines,
+                "f32 in a power/energy path: all power and energy accounting is f64 so \
+                 accumulated error stays below measurement noise"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// P1 — panic hygiene in library code.
+fn rule_p1(
+    path: &str,
+    lexed: &Lexed,
+    lines: &[&str],
+    regions: &[(u32, u32)],
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || in_test_region(regions, t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — method calls only, so
+        // `unwrap_or_else` and local fields named `expect` don't match.
+        let is_method = matches!(t.text.as_str(), "unwrap" | "expect")
+            && i >= 1
+            && is_punct(&toks[i - 1], ".")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "("));
+        // `panic!(` / `unreachable!(` / `todo!(` / `unimplemented!(`.
+        let is_macro = matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && toks.get(i + 1).is_some_and(|n| is_punct(n, "!"));
+        if is_method || is_macro {
+            findings.push(finding(
+                "P1",
+                path,
+                t.line,
+                lines,
+                format!(
+                    "`{}` in library code: convert to Result/saturating handling, or prove the \
+                     site infallible with `// smartlint: allow(panic, \"…\")`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// H1 — crate-root header lints.
+fn rule_h1(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    // Collect inner-attribute lint declarations: `#![level(lint, …)]`.
+    let toks = &lexed.tokens;
+    let mut declared: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        if is_punct(&toks[i], "#")
+            && is_punct(&toks[i + 1], "!")
+            && is_punct(&toks[i + 2], "[")
+            && toks[i + 3].kind == TokenKind::Ident
+            && matches!(toks[i + 3].text.as_str(), "forbid" | "deny" | "warn")
+            && is_punct(&toks[i + 4], "(")
+        {
+            let level = toks[i + 3].text.clone();
+            let mut j = i + 5;
+            while j < toks.len() && !is_punct(&toks[j], "]") {
+                if toks[j].kind == TokenKind::Ident {
+                    declared.push((level.clone(), toks[j].text.clone()));
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    let has = |level: &[&str], lint: &str| {
+        declared
+            .iter()
+            .any(|(l, n)| level.contains(&l.as_str()) && n == lint)
+    };
+    let mut missing = Vec::new();
+    if !has(&["forbid"], "unsafe_code") {
+        missing.push("#![forbid(unsafe_code)]");
+    }
+    if !has(&["forbid", "deny"], "missing_docs") {
+        missing.push("#![deny(missing_docs)]");
+    }
+    if !missing.is_empty() {
+        findings.push(Finding {
+            rule: "H1".to_string(),
+            file: path.to_string(),
+            line: 1,
+            message: format!(
+                "crate root is missing the agreed header-lint set: {}",
+                missing.join(", ")
+            ),
+            excerpt: "(crate root attributes)".to_string(),
+            baselined: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_grammar_round_trips() {
+        assert_eq!(
+            parse_allow("allow(panic, \"provably infallible\")"),
+            Some("panic".to_string())
+        );
+        assert_eq!(parse_allow("allow(panic)"), None, "reason is mandatory");
+        assert_eq!(parse_allow("allow(panic, \"\")"), None, "reason non-empty");
+        assert_eq!(parse_allow("deny(panic, \"x\")"), None);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "// smartlint: allow(panic, \"fine\")\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\npub fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let f = analyze_source("crates/archsim/src/demo.rs", src);
+        assert_eq!(f.len(), 1, "only the un-annotated unwrap fires: {f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_p1() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(analyze_source("crates/archsim/src/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scoping_is_path_driven() {
+        let cast = "pub fn f(x: f64) -> u64 { x as u64 }\n";
+        assert!(!analyze_source("crates/archsim/src/execution.rs", cast).is_empty());
+        assert!(analyze_source("crates/archsim/src/pipeline.rs", cast).is_empty());
+        assert!(analyze_source("crates/bench/src/harness.rs", cast).is_empty());
+    }
+
+    #[test]
+    fn binary_roots_are_exempt_from_panic_hygiene() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(analyze_source("crates/smartlint/src/main.rs", src).is_empty());
+        assert!(analyze_source("crates/bench/src/bin/run.rs", src).is_empty());
+        assert!(!analyze_source("crates/kernelsim/src/system.rs", src).is_empty());
+    }
+}

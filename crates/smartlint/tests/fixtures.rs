@@ -1,0 +1,131 @@
+//! Per-rule fixture tests: every rule has one deliberately-bad fixture
+//! that must produce exactly the expected findings, and one clean
+//! fixture that must produce none.
+
+use smartlint::rules::analyze_source;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Run a fixture under a virtual workspace path and return `(rule, line)`
+/// pairs in source order.
+fn findings(name: &str, virtual_path: &str) -> Vec<(String, u32)> {
+    analyze_source(virtual_path, &fixture(name))
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn d1_bad_flags_every_escape_of_hash_order() {
+    let got = findings("d1_bad.rs", "crates/core/src/sense.rs");
+    assert_eq!(
+        got,
+        vec![("D1".to_string(), 9), ("D1".to_string(), 12)],
+        "iter() in a for-loop and keys() must both be flagged"
+    );
+}
+
+#[test]
+fn d1_good_is_clean() {
+    assert!(findings("d1_good.rs", "crates/core/src/sense.rs").is_empty());
+}
+
+#[test]
+fn d2_bad_flags_wall_clock_and_env() {
+    let got = findings("d2_bad.rs", "crates/kernelsim/src/system.rs");
+    let rules: Vec<&str> = got.iter().map(|(r, _)| r.as_str()).collect();
+    assert_eq!(rules, vec!["D2", "D2"], "findings: {got:?}");
+    assert_eq!(got[0].1, 4, "Instant::now");
+    assert_eq!(got[1].1, 5, "env::var");
+}
+
+#[test]
+fn d2_good_is_clean() {
+    assert!(findings("d2_good.rs", "crates/kernelsim/src/system.rs").is_empty());
+}
+
+#[test]
+fn n1_bad_flags_bare_numeric_casts() {
+    let got = findings("n1_bad.rs", "crates/archsim/src/counters.rs");
+    assert_eq!(
+        got,
+        vec![("N1".to_string(), 4), ("N1".to_string(), 8),],
+        "both the float->int and the int->float cast lines must be flagged"
+    );
+}
+
+#[test]
+fn n1_good_is_clean() {
+    assert!(findings("n1_good.rs", "crates/archsim/src/counters.rs").is_empty());
+}
+
+#[test]
+fn n2_bad_flags_f32_in_power_paths() {
+    let got = findings("n2_bad.rs", "crates/mcpat/src/model.rs");
+    let lines: Vec<u32> = got
+        .iter()
+        .inspect(|(r, _)| assert_eq!(r, "N2"))
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(lines, vec![5, 8], "struct field and fn signature lines");
+}
+
+#[test]
+fn n2_good_is_clean() {
+    assert!(findings("n2_good.rs", "crates/mcpat/src/model.rs").is_empty());
+}
+
+#[test]
+fn p1_bad_flags_unwrap_expect_and_panic() {
+    let got = findings("p1_bad.rs", "crates/archsim/src/pipeline.rs");
+    assert_eq!(
+        got,
+        vec![
+            ("P1".to_string(), 4),
+            ("P1".to_string(), 8),
+            ("P1".to_string(), 14),
+        ]
+    );
+}
+
+#[test]
+fn p1_good_is_clean() {
+    assert!(findings("p1_good.rs", "crates/archsim/src/pipeline.rs").is_empty());
+}
+
+#[test]
+fn h1_bad_flags_missing_headers() {
+    let got = findings("h1_bad.rs", "crates/archsim/src/lib.rs");
+    assert_eq!(got.len(), 1, "one H1 finding for the root: {got:?}");
+    assert_eq!(got[0].0, "H1");
+}
+
+#[test]
+fn h1_good_is_clean() {
+    assert!(findings("h1_good.rs", "crates/archsim/src/lib.rs").is_empty());
+}
+
+#[test]
+fn a0_bad_flags_malformed_annotations() {
+    let got = findings("a0_bad.rs", "crates/archsim/src/pipeline.rs");
+    assert_eq!(
+        got,
+        vec![("A0".to_string(), 5), ("A0".to_string(), 10)],
+        "missing reason and unknown key must each be an A0 finding"
+    );
+}
+
+#[test]
+fn annotations_suppress_only_their_own_line_and_rule() {
+    // The annotation sits on line 2 and covers the unwrap on line 3;
+    // the unwrap on line 4 stays flagged.
+    let src = "pub fn f(a: Option<u8>, b: Option<u8>) -> u8 {\n    // smartlint: allow(panic, \"a is validated by the caller\")\n    let x = a.unwrap();\n    x + b.unwrap()\n}\n";
+    let got: Vec<(String, u32)> = analyze_source("crates/archsim/src/pipeline.rs", src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(got, vec![("P1".to_string(), 4)]);
+}

@@ -23,6 +23,10 @@
 //! assert_eq!(hthi.name(), "HTHI");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod imb;
 pub mod mixes;
 pub mod parsec;

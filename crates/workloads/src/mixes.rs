@@ -25,25 +25,47 @@ impl MixId {
         format!("Mix{}", self.0)
     }
 
+    /// The member benchmark profiles of this mix, or `None` if the id
+    /// is not in `1..=6` — the checked entry point for ids that come
+    /// from user input (CLI flags, config files).
+    pub fn try_members(&self) -> Option<Vec<WorkloadProfile>> {
+        match self.0 {
+            1 => Some(vec![
+                x264(true, X264Input::Crew),
+                x264(true, X264Input::Bowing),
+            ]),
+            2 => Some(vec![
+                x264(false, X264Input::Crew),
+                x264(false, X264Input::Bowing),
+            ]),
+            3 => Some(vec![
+                x264(false, X264Input::Crew),
+                x264(true, X264Input::Bowing),
+            ]),
+            4 => Some(vec![
+                x264(true, X264Input::Crew),
+                x264(false, X264Input::Bowing),
+            ]),
+            5 => Some(vec![bodytrack(), x264(true, X264Input::Crew)]),
+            6 => Some(vec![
+                bodytrack(),
+                x264(true, X264Input::Crew),
+                x264(false, X264Input::Bowing),
+            ]),
+            _ => None,
+        }
+    }
+
     /// The member benchmark profiles of this mix.
     ///
     /// # Panics
     ///
-    /// Panics if the id is not in `1..=6`.
+    /// Panics if the id is not in `1..=6`; use [`MixId::try_members`]
+    /// for ids that are not known-valid.
     pub fn members(&self) -> Vec<WorkloadProfile> {
-        match self.0 {
-            1 => vec![x264(true, X264Input::Crew), x264(true, X264Input::Bowing)],
-            2 => vec![x264(false, X264Input::Crew), x264(false, X264Input::Bowing)],
-            3 => vec![x264(false, X264Input::Crew), x264(true, X264Input::Bowing)],
-            4 => vec![x264(true, X264Input::Crew), x264(false, X264Input::Bowing)],
-            5 => vec![bodytrack(), x264(true, X264Input::Crew)],
-            6 => vec![
-                bodytrack(),
-                x264(true, X264Input::Crew),
-                x264(false, X264Input::Bowing),
-            ],
-            other => panic!("no such mix: Mix{other} (valid: Mix1..Mix6)"),
-        }
+        self.try_members()
+            // smartlint: allow(panic, "documented contract for known-valid ids; checked callers use try_members")
+            .unwrap_or_else(|| panic!("no such mix: Mix{} (valid: Mix1..Mix6)", self.0))
     }
 }
 

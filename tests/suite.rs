@@ -110,6 +110,22 @@ fn rerunning_the_suite_is_bit_identical_and_faster_in_parallel() {
 }
 
 #[test]
+fn identical_runs_produce_byte_identical_canonical_reports() {
+    // The smartlint D1 rule exists to protect exactly this guarantee:
+    // no HashMap iteration order may leak into results. Two fresh runs
+    // of the same suite must serialize — wall-clock fields aside — to
+    // the same bytes, whole report included (job order, gains, traces).
+    let first = build_suite(2).run().canonicalized();
+    let second = build_suite(4).run().canonicalized();
+    assert_eq!(
+        serde_json::to_string(&first).expect("serialize"),
+        serde_json::to_string(&second).expect("serialize"),
+        "canonicalized SuiteReport JSON differs between identical runs"
+    );
+}
+
+#[test]
+#[allow(clippy::float_cmp)] // the roundtrip must preserve the exact bits
 fn suite_report_round_trips_through_json() {
     let mut suite = ExperimentSuite::new().with_workers(2);
     suite.push(spec("w0", 0.01), Policy::Vanilla);
