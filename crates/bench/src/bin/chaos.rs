@@ -22,7 +22,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use archsim::{CoreId, FaultClass, FaultKind, FaultPlan, Platform};
-use kernelsim::{MigrationReject, System, SystemConfig};
+use kernelsim::{System, SystemConfig, TraceLevel};
 use serde::Serialize;
 use smartbalance::{DegradeMode, PredictorSet, SmartBalance, SmartBalanceConfig};
 use workloads::SyntheticGenerator;
@@ -53,9 +53,12 @@ struct RunOutcome {
     final_mode: DegradeMode,
     offline_rejections: u64,
     transient_rejections: u64,
+    rejected_migrations: u64,
     /// Epoch-reports that showed a live task on an offline core.
     offline_placements: u64,
     migrations: u64,
+    /// Last scheduler events of the run, rendered compactly.
+    event_tail: Vec<String>,
 }
 
 /// One cell of the published report.
@@ -80,10 +83,14 @@ struct CellResult {
     offline_rejections: u64,
     /// Migrations rejected by the transient-failure model.
     transient_rejections: u64,
+    /// Migrations rejected for any reason, cumulative over the run.
+    rejected_migrations: u64,
     /// Epoch-reports showing a live task on an offline core (must be 0).
     offline_placements: u64,
     /// Migrations actually performed.
     migrations: u64,
+    /// Last scheduler events of the run (compact one-line renderings).
+    last_events: Vec<String>,
     /// Whether the cell's run panicked (all metrics zeroed).
     panicked: bool,
 }
@@ -120,6 +127,7 @@ fn run_scenario(
     let config = SmartBalanceConfig::default();
     let mut policy = SmartBalance::with_predictors(predictors.clone(), config);
     let mut sys = System::new(platform, SystemConfig::default());
+    sys.enable_tracing(TraceLevel::Lifecycle, 64);
     if !setup.plan.is_empty() {
         sys.set_fault_plan(setup.plan.clone(), FAULT_SEED);
     }
@@ -136,8 +144,6 @@ fn run_scenario(
         sys.spawn(gen.profile(format!("c{i}"), 4, u64::MAX / 64, i % 2 == 0));
     }
 
-    let mut offline_rejections = 0u64;
-    let mut transient_rejections = 0u64;
     let mut offline_placements = 0u64;
     let mut duration_ns = 0u64;
     for epoch in 0..epochs {
@@ -151,10 +157,6 @@ fn run_scenario(
         }
         let report = sys.run_epoch(&mut policy);
         duration_ns = report.now_ns;
-        if let Some(applied) = sys.last_applied() {
-            offline_rejections += applied.rejected_with(MigrationReject::OfflineCore) as u64;
-            transient_rejections += applied.rejected_with(MigrationReject::TransientFailure) as u64;
-        }
         if let Some((core, out_at, in_at)) = setup.hotplug {
             let down = epoch >= out_at && epoch < in_at;
             if down
@@ -168,16 +170,30 @@ fn run_scenario(
         }
     }
 
+    // Cumulative over the whole run (every apply, not just the last
+    // surviving `last_applied()` snapshot).
+    let stats = sys.stats();
+    let totals = stats.migration_totals;
     RunOutcome {
         instructions: sys.sensors().total_instructions(),
         energy_j: sys.sensors().total_energy_j(),
         duration_s: duration_ns as f64 / 1e9,
         mode_transitions: policy.mode_transitions(),
         final_mode: policy.mode(),
-        offline_rejections,
-        transient_rejections,
+        offline_rejections: totals.offline_core,
+        transient_rejections: totals.transient_failure,
+        rejected_migrations: totals.rejected,
         offline_placements,
-        migrations: sys.stats().migrations,
+        migrations: stats.migrations,
+        event_tail: sys
+            .tracer()
+            .events()
+            .iter()
+            .rev()
+            .take(4)
+            .rev()
+            .map(|e| e.to_string())
+            .collect(),
     }
 }
 
@@ -218,8 +234,10 @@ fn run_cell(
             final_mode: o.final_mode.name().to_owned(),
             offline_rejections: o.offline_rejections,
             transient_rejections: o.transient_rejections,
+            rejected_migrations: o.rejected_migrations,
             offline_placements: o.offline_placements,
             migrations: o.migrations,
+            last_events: o.event_tail,
             panicked: false,
         },
         Err(_) => CellResult {
@@ -232,8 +250,10 @@ fn run_cell(
             final_mode: "panicked".to_owned(),
             offline_rejections: 0,
             transient_rejections: 0,
+            rejected_migrations: 0,
             offline_placements: 0,
             migrations: 0,
+            last_events: Vec::new(),
             panicked: true,
         },
     }
@@ -411,21 +431,28 @@ fn main() {
         panics,
     };
 
+    println!("scheduler tracing: level {}", TraceLevel::Lifecycle);
     println!(
-        "{:<26} {:>9} {:>9} {:>6} {:>12} {:>8} {:>8}",
-        "cell", "retained", "edp_x", "modes", "final", "rej_off", "panic"
+        "{:<26} {:>9} {:>9} {:>6} {:>12} {:>8} {:>8} {:>8}",
+        "cell", "retained", "edp_x", "modes", "final", "rej_off", "rej_all", "panic"
     );
     for c in &report.cells {
         println!(
-            "{:<26} {:>9.3} {:>9.3} {:>6} {:>12} {:>8} {:>8}",
+            "{:<26} {:>9.3} {:>9.3} {:>6} {:>12} {:>8} {:>8} {:>8}",
             c.name,
             c.ips_per_watt_retained,
             c.edp_ratio,
             c.mode_transitions,
             c.final_mode,
             c.offline_rejections,
+            c.rejected_migrations,
             c.panicked
         );
+        if c.offline_placements > 0 {
+            for line in &c.last_events {
+                println!("    {line}");
+            }
+        }
     }
     println!(
         "baseline: {:.3e} instr/J  |  {} cells, {} panics",

@@ -12,7 +12,7 @@
 //!    the current allocation and emit the migrations it decides on.
 
 use archsim::Platform;
-use kernelsim::{Allocation, EpochReport, LoadBalancer};
+use kernelsim::{Allocation, EpochReport, LoadBalancer, TelemetryHandle};
 use mcpat::ThermalModel;
 
 use crate::anneal::{anneal, AnnealOutcome, AnnealParams};
@@ -57,6 +57,10 @@ pub struct SmartBalance {
     degrade: DegradeController,
     quarantine: QuarantineTracker,
     fallback: VanillaBalancer,
+    /// Shared observability hub, when the host system attached one.
+    /// Purely write-only from the policy's perspective: recording never
+    /// changes a balancing decision.
+    telemetry: Option<TelemetryHandle>,
 }
 
 /// Builds the sensing stage from the configuration (shared by both
@@ -97,6 +101,7 @@ impl SmartBalance {
             fallback: VanillaBalancer::new(),
             config,
             last_outcome: None,
+            telemetry: None,
         }
     }
 
@@ -115,6 +120,7 @@ impl SmartBalance {
             fallback: VanillaBalancer::new(),
             config,
             last_outcome: None,
+            telemetry: None,
         }
     }
 
@@ -171,8 +177,22 @@ impl LoadBalancer for SmartBalance {
         "smartbalance"
     }
 
+    fn attach_telemetry(&mut self, handle: &TelemetryHandle) {
+        self.telemetry = Some(handle.clone());
+    }
+
     fn rebalance(&mut self, platform: &Platform, report: &EpochReport) -> Option<Allocation> {
         self.epochs_balanced += 1;
+
+        // --- Prediction audit: settle last epoch's forecasts against
+        // what the threads actually achieved. Samples only count when
+        // the thread still runs on the core it was predicted for.
+        if let Some(tel) = &self.telemetry {
+            let mut tel = tel.borrow_mut();
+            for ts in &report.tasks {
+                tel.resolve_prediction(ts.task.0 as u64, ts.core.0 as u64, ts.ips(), ts.power_w());
+            }
+        }
 
         // --- Thermal tracking (optional): advance the RC model with
         // this epoch's measured per-core power.
@@ -203,6 +223,23 @@ impl LoadBalancer for SmartBalance {
             quarantined: self.quarantine.quarantined_count(),
         };
         let mode = self.degrade.step(&health);
+        if let Some(tel) = &self.telemetry {
+            let mut tel = tel.borrow_mut();
+            tel.record_sense(
+                sense_health.candidates as u64,
+                sense_health.fresh as u64,
+                sense_health.invalid as u64,
+                sense_health.replayed as u64,
+                sense_health.expired as u64,
+                sense_health.priors as u64,
+                sense_health.blind as u64,
+            );
+            tel.record_degrade(
+                mode.name(),
+                u64::from(mode.rank()),
+                self.degrade.transitions(),
+            );
+        }
 
         // Per-core availability from the report (missing entries are
         // treated as online, matching older reports).
@@ -290,6 +327,26 @@ impl LoadBalancer for SmartBalance {
         {
             if new_core != old_core {
                 alloc.assign(sense.task, archsim::CoreId(new_core));
+            }
+        }
+        if let Some(tel) = &self.telemetry {
+            let mut tel = tel.borrow_mut();
+            tel.record_anneal(
+                u64::from(outcome.iterations),
+                u64::from(outcome.accepted_moves),
+                outcome.initial_objective,
+                outcome.objective,
+            );
+            // Forecast next epoch: thread i should achieve the S/P
+            // matrix entries of its chosen column.
+            for (i, sense) in senses.iter().enumerate() {
+                let dest = outcome.allocation[i];
+                tel.record_prediction(
+                    sense.task.0 as u64,
+                    dest as u64,
+                    matrices.ips(i, dest),
+                    matrices.power(i, dest),
+                );
             }
         }
         self.last_outcome = Some(outcome);

@@ -10,6 +10,7 @@ use workloads::WorkloadProfile;
 
 use crate::balance::{GtsBalancer, IksBalancer, SmartBalance, VanillaBalancer};
 use crate::config::SmartBalanceConfig;
+use telemetry::ObsCapture;
 
 /// Which balancing policy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,7 +184,34 @@ pub fn run_experiment_traced(
     balancer: &mut dyn LoadBalancer,
     trace: Option<TraceRequest>,
 ) -> (RunResult, Option<TraceCapture>) {
+    let (result, capture, _) = run_experiment_instrumented(spec, balancer, trace, false);
+    (result, capture)
+}
+
+/// [`run_experiment_traced`] plus closed-loop observability: when
+/// `observe` is set, a [`telemetry::Telemetry`] hub is attached to both
+/// the system and the balancer and its capture (summary + JSONL +
+/// Prometheus snapshot) is returned alongside the measurements.
+///
+/// A trace request at [`TraceLevel::Off`] is treated as no request at
+/// all — no tracer is armed and no empty capture is allocated.
+pub fn run_experiment_instrumented(
+    spec: &ExperimentSpec,
+    balancer: &mut dyn LoadBalancer,
+    trace: Option<TraceRequest>,
+    observe: bool,
+) -> (RunResult, Option<TraceCapture>, Option<ObsCapture>) {
+    let trace = trace.filter(|req| req.level != TraceLevel::Off);
     let mut sys = System::new(spec.platform.clone(), spec.sys_config);
+    let hub = if observe {
+        Some(telemetry::shared())
+    } else {
+        None
+    };
+    if let Some(hub) = &hub {
+        sys.set_telemetry(hub.clone());
+        balancer.attach_telemetry(hub);
+    }
     if let Some(req) = trace {
         sys.enable_tracing(req.level, req.capacity);
     }
@@ -197,6 +225,7 @@ pub fn run_experiment_traced(
         events: sys.tracer().events().len(),
         dropped: sys.tracer().dropped(),
     });
+    let obs = hub.map(|hub| hub.borrow().capture());
     let result = RunResult {
         experiment: spec.name.clone(),
         policy: balancer.name().to_owned(),
@@ -204,7 +233,7 @@ pub fn run_experiment_traced(
         completed: stats.live_tasks == 0,
         stats,
     };
-    (result, capture)
+    (result, capture, obs)
 }
 
 /// Runs `spec` under each policy and returns the results in the same
@@ -280,6 +309,68 @@ mod tests {
         let r = run_experiment(&spec, policy.as_mut());
         assert!(r.completed);
         assert!(r.energy_efficiency() > 0.0);
+    }
+
+    #[test]
+    fn off_level_trace_request_yields_no_capture() {
+        // Regression: an Off-level request used to allocate an empty
+        // TraceCapture (and arm a zero-yield tracer) just because the
+        // Option was Some.
+        let spec = small_spec();
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        let req = TraceRequest {
+            level: TraceLevel::Off,
+            capacity: 64,
+        };
+        let (r, capture) = run_experiment_traced(&spec, b.as_mut(), Some(req));
+        assert!(r.completed);
+        assert!(capture.is_none(), "Off-level request must not capture");
+
+        // A real request still captures.
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        let req = TraceRequest {
+            level: TraceLevel::Lifecycle,
+            capacity: 64,
+        };
+        let (_, capture) = run_experiment_traced(&spec, b.as_mut(), Some(req));
+        assert!(capture.is_some());
+    }
+
+    #[test]
+    fn instrumented_run_observes_the_loop() {
+        let spec = small_spec();
+        let mut policy = Policy::Smart.build(&spec.platform, None);
+        let (r, _, obs) = run_experiment_instrumented(&spec, policy.as_mut(), None, true);
+        let obs = obs.expect("observability requested");
+        assert!(r.completed);
+        assert_eq!(obs.summary.epochs, r.epochs, "one span per epoch");
+        assert!(!obs.jsonl.is_empty());
+        assert!(!obs.prometheus.is_empty());
+        assert!(obs.prometheus.contains("sb_epochs_total"));
+
+        // Not requested → not allocated, result identical.
+        let mut policy = Policy::Smart.build(&spec.platform, None);
+        let (r2, _, none) = run_experiment_instrumented(&spec, policy.as_mut(), None, false);
+        assert!(none.is_none());
+        assert_eq!(r, r2, "observability must not perturb the run");
+    }
+
+    #[test]
+    fn run_result_surfaces_migration_totals() {
+        let spec = small_spec();
+        let mut policy = Policy::Smart.build(&spec.platform, None);
+        let r = run_experiment(&spec, policy.as_mut());
+        let totals = r.stats.migration_totals;
+        assert_eq!(totals.migrated, r.stats.migrations);
+        assert_eq!(
+            totals.rejected,
+            totals.unknown_task
+                + totals.unknown_core
+                + totals.exited
+                + totals.affinity_forbidden
+                + totals.offline_core
+                + totals.transient_failure
+        );
     }
 
     #[test]

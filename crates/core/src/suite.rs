@@ -40,8 +40,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::SmartBalanceConfig;
 use crate::runner::{
-    run_experiment_traced, ExperimentSpec, Policy, RunResult, TraceCapture, TraceRequest,
+    run_experiment_instrumented, ExperimentSpec, Policy, RunResult, TraceCapture, TraceRequest,
 };
+use telemetry::ObsCapture;
 
 /// splitmix64: the standard 64-bit seed expander; maps a job index to
 /// an independent, well-mixed seed.
@@ -65,12 +66,21 @@ pub struct SuiteJob {
     pub seed: u64,
     /// Optional scheduler-event trace to capture during the run.
     pub trace: Option<TraceRequest>,
+    /// When set, the job runs with a telemetry hub attached and its
+    /// [`ObsCapture`] lands in the [`JobResult`].
+    pub observe: bool,
 }
 
 impl SuiteJob {
     /// Requests a scheduler-event trace for this job (builder style).
     pub fn with_trace(mut self, trace: TraceRequest) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Requests closed-loop observability for this job (builder style).
+    pub fn with_observability(mut self) -> Self {
+        self.observe = true;
         self
     }
 
@@ -100,13 +110,15 @@ impl SuiteJob {
     fn execute(&self, index: usize) -> JobResult {
         let start = Instant::now();
         let mut balancer = self.build_balancer();
-        let (result, trace) = run_experiment_traced(&self.spec, balancer.as_mut(), self.trace);
+        let (result, trace, obs) =
+            run_experiment_instrumented(&self.spec, balancer.as_mut(), self.trace, self.observe);
         JobResult {
             job_index: index,
             seed: self.seed,
             policy: self.policy,
             result,
             trace,
+            obs,
             wall_s: start.elapsed().as_secs_f64(),
         }
     }
@@ -125,6 +137,8 @@ pub struct JobResult {
     pub result: RunResult,
     /// Captured scheduler trace, if the job requested one.
     pub trace: Option<TraceCapture>,
+    /// Captured observability bundle, if the job requested one.
+    pub obs: Option<ObsCapture>,
     /// Wall-clock duration of this job alone, seconds.
     pub wall_s: f64,
 }
@@ -314,6 +328,15 @@ impl ExperimentSuite {
         self.push_job(spec, policy, Some(trace))
     }
 
+    /// [`push`](Self::push) with closed-loop observability: the job
+    /// runs with a telemetry hub attached and its [`ObsCapture`]
+    /// (summary + JSONL + Prometheus snapshot) lands in the report.
+    pub fn push_observed(&mut self, spec: ExperimentSpec, policy: Policy) -> usize {
+        let index = self.push_job(spec, policy, None);
+        self.jobs[index].observe = true;
+        index
+    }
+
     fn push_job(
         &mut self,
         spec: ExperimentSpec,
@@ -326,6 +349,7 @@ impl ExperimentSuite {
             policy,
             seed: splitmix64(index as u64),
             trace,
+            observe: false,
         });
         index
     }

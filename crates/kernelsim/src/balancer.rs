@@ -245,6 +245,62 @@ impl AppliedAllocation {
     }
 }
 
+/// Cumulative balancer-migration accounting over a whole run: every
+/// [`AppliedAllocation`] folded into per-reason totals so callers (and
+/// `RunResult`/chaos reports) see churn without replaying each epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationTotals {
+    /// Allocation entries requested across all applies.
+    pub requested: u64,
+    /// Migrations performed (excludes hotplug evacuations).
+    pub migrated: u64,
+    /// Migrations rejected, all reasons.
+    pub rejected: u64,
+    /// Rejections: task unknown to the system.
+    pub unknown_task: u64,
+    /// Rejections: destination core does not exist.
+    pub unknown_core: u64,
+    /// Rejections: task exited before the apply.
+    pub exited: u64,
+    /// Rejections: destination not in the task's affinity mask.
+    pub affinity_forbidden: u64,
+    /// Rejections: destination core was offline.
+    pub offline_core: u64,
+    /// Rejections: transient in-flight migration failure.
+    pub transient_failure: u64,
+}
+
+impl MigrationTotals {
+    /// Folds one applied allocation into the totals.
+    pub fn absorb(&mut self, applied: &AppliedAllocation) {
+        self.requested += applied.requested as u64;
+        self.migrated += applied.migrated.len() as u64;
+        self.rejected += applied.rejected.len() as u64;
+        for (_, _, reason) in &applied.rejected {
+            match reason {
+                MigrationReject::UnknownTask => self.unknown_task += 1,
+                MigrationReject::UnknownCore => self.unknown_core += 1,
+                MigrationReject::Exited => self.exited += 1,
+                MigrationReject::AffinityForbidden => self.affinity_forbidden += 1,
+                MigrationReject::OfflineCore => self.offline_core += 1,
+                MigrationReject::TransientFailure => self.transient_failure += 1,
+            }
+        }
+    }
+
+    /// Cumulative rejections matching `reason`.
+    pub fn rejected_with(&self, reason: MigrationReject) -> u64 {
+        match reason {
+            MigrationReject::UnknownTask => self.unknown_task,
+            MigrationReject::UnknownCore => self.unknown_core,
+            MigrationReject::Exited => self.exited,
+            MigrationReject::AffinityForbidden => self.affinity_forbidden,
+            MigrationReject::OfflineCore => self.offline_core,
+            MigrationReject::TransientFailure => self.transient_failure,
+        }
+    }
+}
+
 /// A pluggable load balancer, invoked at every epoch boundary.
 ///
 /// Implementations: the vanilla Linux balancer, ARM GTS and
@@ -257,6 +313,12 @@ pub trait LoadBalancer {
     /// Computes a new allocation from the epoch's sensing data, or
     /// `None` to leave every task where it is.
     fn rebalance(&mut self, platform: &Platform, report: &EpochReport) -> Option<Allocation>;
+
+    /// Hands the policy a shared telemetry hub so it can record
+    /// per-phase observations (sense health, annealer trajectory,
+    /// predictions) into the epoch span the system opened. The default
+    /// is a no-op: policies without internals to report ignore it.
+    fn attach_telemetry(&mut self, _handle: &telemetry::TelemetryHandle) {}
 }
 
 /// The null balancer: never migrates anything. Useful as an
@@ -369,6 +431,27 @@ mod tests {
         };
         assert_eq!(a.rejected_with(MigrationReject::OfflineCore), 2);
         assert_eq!(a.rejected_with(MigrationReject::TransientFailure), 0);
+    }
+
+    #[test]
+    fn migration_totals_accumulate_across_applies() {
+        let applied = AppliedAllocation {
+            requested: 3,
+            migrated: vec![(TaskId(0), CoreId(0), CoreId(1))],
+            rejected: vec![
+                (TaskId(1), CoreId(2), MigrationReject::OfflineCore),
+                (TaskId(2), CoreId(2), MigrationReject::TransientFailure),
+            ],
+        };
+        let mut totals = MigrationTotals::default();
+        totals.absorb(&applied);
+        totals.absorb(&applied);
+        assert_eq!(totals.requested, 6);
+        assert_eq!(totals.migrated, 2);
+        assert_eq!(totals.rejected, 4);
+        assert_eq!(totals.rejected_with(MigrationReject::OfflineCore), 2);
+        assert_eq!(totals.rejected_with(MigrationReject::TransientFailure), 2);
+        assert_eq!(totals.rejected_with(MigrationReject::Exited), 0);
     }
 
     #[test]

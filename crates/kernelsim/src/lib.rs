@@ -43,10 +43,11 @@ pub mod trace;
 
 pub use balancer::{
     Allocation, AppliedAllocation, CoreEpochStats, EpochReport, LoadBalancer, MigrationReject,
-    NullBalancer, TaskEpochStats,
+    MigrationTotals, NullBalancer, TaskEpochStats,
 };
 pub use cfs::CfsRunQueue;
 pub use stats::{CoreStats, SystemStats};
 pub use system::{System, SystemConfig};
 pub use task::{Task, TaskId, TaskState};
+pub use telemetry::TelemetryHandle;
 pub use trace::{TraceEvent, TraceLevel, Tracer};

@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::balancer::MigrationTotals;
 use crate::system::System;
 
 /// Per-core lifetime summary.
@@ -38,6 +39,10 @@ pub struct SystemStats {
     pub live_tasks: usize,
     /// Total thread migrations performed.
     pub migrations: u64,
+    /// Cumulative balancer-apply accounting: requested entries,
+    /// performed moves and per-reason rejections over the whole run
+    /// (previously only the last epoch's `AppliedAllocation` survived).
+    pub migration_totals: MigrationTotals,
     /// Per-core breakdown.
     pub per_core: Vec<CoreStats>,
 }
@@ -66,6 +71,7 @@ impl SystemStats {
             completed_tasks: sys.tasks().iter().filter(|t| t.is_exited()).count(),
             live_tasks: sys.live_tasks(),
             migrations: sys.total_migrations(),
+            migration_totals: sys.migration_totals(),
             per_core,
         }
     }

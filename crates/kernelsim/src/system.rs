@@ -21,12 +21,13 @@ use workloads::WorkloadProfile;
 
 use crate::balancer::{
     Allocation, AppliedAllocation, CoreEpochStats, EpochReport, LoadBalancer, MigrationReject,
-    TaskEpochStats,
+    MigrationTotals, TaskEpochStats,
 };
 use crate::cfs::CfsRunQueue;
 use crate::stats::SystemStats;
 use crate::task::{Task, TaskId, TaskState};
 use crate::trace::{TraceEvent, TraceLevel, Tracer};
+use telemetry::TelemetryHandle;
 
 /// Simulation configuration: the timing constants of paper Fig. 1(c)/2.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -164,6 +165,12 @@ pub struct System {
     migration_fail: Option<MigrationFaultModel>,
     /// Outcome of the most recent [`System::apply_allocation`].
     last_applied: Option<AppliedAllocation>,
+    /// Cumulative per-reason migration accounting across every apply.
+    alloc_totals: MigrationTotals,
+    /// Optional shared observability hub; when attached, every epoch is
+    /// bracketed by an [`telemetry::EpochObs`] span and allocation
+    /// applies feed the migration counters. Never affects scheduling.
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl System {
@@ -208,7 +215,18 @@ impl System {
             faults: None,
             migration_fail: None,
             last_applied: None,
+            alloc_totals: MigrationTotals::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a shared telemetry hub. From the next epoch on, the
+    /// system opens/closes one span per `run_epoch` and records
+    /// allocation outcomes; pair with
+    /// [`LoadBalancer::attach_telemetry`] on the policy to fill in the
+    /// balancer-side phases.
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = Some(handle);
     }
 
     /// Enables scheduler event tracing at `level`, keeping at most
@@ -383,6 +401,9 @@ impl System {
     /// sense → balance hand-off with `balancer` and applies any
     /// returned allocation. Returns the epoch's sensing report.
     pub fn run_epoch(&mut self, balancer: &mut dyn LoadBalancer) -> EpochReport {
+        if let Some(tel) = &self.telemetry {
+            tel.borrow_mut().epoch_start(self.epoch_index, self.now_ns);
+        }
         for _ in 0..self.config.epoch_periods {
             self.run_period();
         }
@@ -805,6 +826,40 @@ impl System {
             self.migrate_task(tid, target);
             applied.migrated.push((tid, current, target));
         }
+        self.alloc_totals.absorb(&applied);
+        if let Some(tel) = &self.telemetry {
+            let reasons = [
+                (
+                    "unknown_task",
+                    applied.rejected_with(MigrationReject::UnknownTask) as u64,
+                ),
+                (
+                    "unknown_core",
+                    applied.rejected_with(MigrationReject::UnknownCore) as u64,
+                ),
+                (
+                    "exited",
+                    applied.rejected_with(MigrationReject::Exited) as u64,
+                ),
+                (
+                    "affinity_forbidden",
+                    applied.rejected_with(MigrationReject::AffinityForbidden) as u64,
+                ),
+                (
+                    "offline_core",
+                    applied.rejected_with(MigrationReject::OfflineCore) as u64,
+                ),
+                (
+                    "transient_failure",
+                    applied.rejected_with(MigrationReject::TransientFailure) as u64,
+                ),
+            ];
+            tel.borrow_mut().record_apply(
+                applied.requested as u64,
+                applied.migrated.len() as u64,
+                &reasons,
+            );
+        }
         self.last_applied = Some(applied.clone());
         applied
     }
@@ -970,6 +1025,14 @@ impl System {
             at_ns: self.now_ns,
             epoch: self.epoch_index,
         });
+        if let Some(tel) = &self.telemetry {
+            tel.borrow_mut().epoch_end(
+                self.now_ns,
+                self.total_slices,
+                self.estimates.hits(),
+                self.estimates.misses(),
+            );
+        }
         for t in &mut self.tasks {
             t.reset_epoch();
         }
@@ -987,6 +1050,12 @@ impl System {
     /// Total migrations performed since boot.
     pub fn total_migrations(&self) -> u64 {
         self.total_migrations
+    }
+
+    /// Cumulative balancer-migration accounting (every
+    /// [`System::apply_allocation`] folded into per-reason totals).
+    pub fn migration_totals(&self) -> MigrationTotals {
+        self.alloc_totals
     }
 
     /// Total scheduling slices dispatched since boot.

@@ -9,6 +9,8 @@
 
 use archsim::CoreId;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use telemetry::ChromeEvent;
 
 use crate::task::TaskId;
 
@@ -23,6 +25,17 @@ pub enum TraceLevel {
     Lifecycle,
     /// Additionally record every scheduling slice (high volume).
     Full,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Lifecycle => "lifecycle",
+            TraceLevel::Full => "full",
+        };
+        f.write_str(name)
+    }
 }
 
 /// One scheduler event. All timestamps are absolute simulation
@@ -107,6 +120,103 @@ impl TraceEvent {
             | TraceEvent::EpochEnd { at_ns, .. } => at_ns,
         }
     }
+
+    /// Converts the event to a Chrome `trace_events` entry. Slices
+    /// become `"X"` complete events on their core's lane (pid 1);
+    /// everything else becomes an `"i"` instant.
+    pub fn to_chrome(&self) -> ChromeEvent {
+        match *self {
+            TraceEvent::Spawn { at_ns, task, core } => ChromeEvent::instant(
+                &format!("spawn {task}"),
+                "lifecycle",
+                at_ns,
+                1,
+                core.0 as u64,
+            ),
+            TraceEvent::Slice {
+                at_ns,
+                task,
+                core,
+                duration_ns,
+                instructions,
+            } => ChromeEvent::complete(
+                &format!("{task}"),
+                "slice",
+                at_ns,
+                at_ns + duration_ns,
+                1,
+                core.0 as u64,
+            )
+            .with_arg("instructions", instructions.to_string()),
+            TraceEvent::Sleep {
+                at_ns,
+                task,
+                wake_at_ns,
+            } => ChromeEvent::instant(&format!("sleep {task}"), "lifecycle", at_ns, 0, 0)
+                .with_arg("wake_at_ns", wake_at_ns.to_string()),
+            TraceEvent::Wake { at_ns, task } => {
+                ChromeEvent::instant(&format!("wake {task}"), "lifecycle", at_ns, 0, 0)
+            }
+            TraceEvent::Exit { at_ns, task } => {
+                ChromeEvent::instant(&format!("exit {task}"), "lifecycle", at_ns, 0, 0)
+            }
+            TraceEvent::Migrate {
+                at_ns,
+                task,
+                from,
+                to,
+            } => ChromeEvent::instant(
+                &format!("migrate {task}"),
+                "migration",
+                at_ns,
+                1,
+                to.0 as u64,
+            )
+            .with_arg("from", from.to_string())
+            .with_arg("to", to.to_string()),
+            TraceEvent::EpochEnd { at_ns, epoch } => {
+                ChromeEvent::instant(&format!("epoch_end {epoch}"), "epoch", at_ns, 0, 0)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// Compact human-readable one-liner, e.g.
+    /// `[      10ns] migrate tid3 cpu0->cpu2`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Spawn { at_ns, task, core } => {
+                write!(f, "[{at_ns:>12}ns] spawn   {task} on {core}")
+            }
+            TraceEvent::Slice {
+                at_ns,
+                task,
+                core,
+                duration_ns,
+                instructions,
+            } => write!(
+                f,
+                "[{at_ns:>12}ns] slice   {task} on {core} +{duration_ns}ns ({instructions} instr)"
+            ),
+            TraceEvent::Sleep {
+                at_ns,
+                task,
+                wake_at_ns,
+            } => write!(f, "[{at_ns:>12}ns] sleep   {task} until {wake_at_ns}ns"),
+            TraceEvent::Wake { at_ns, task } => write!(f, "[{at_ns:>12}ns] wake    {task}"),
+            TraceEvent::Exit { at_ns, task } => write!(f, "[{at_ns:>12}ns] exit    {task}"),
+            TraceEvent::Migrate {
+                at_ns,
+                task,
+                from,
+                to,
+            } => write!(f, "[{at_ns:>12}ns] migrate {task} {from}->{to}"),
+            TraceEvent::EpochEnd { at_ns, epoch } => {
+                write!(f, "[{at_ns:>12}ns] epoch   #{epoch} complete")
+            }
+        }
+    }
 }
 
 /// A bounded ring of trace events.
@@ -174,6 +284,12 @@ impl Tracer {
     /// Number of events overwritten because the ring filled up.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The ring's events as Chrome `trace_events` entries (oldest
+    /// first), ready for [`telemetry::chrome_trace_json`].
+    pub fn chrome_events(&self) -> Vec<ChromeEvent> {
+        self.events().iter().map(TraceEvent::to_chrome).collect()
     }
 
     /// Renders the trace as CSV (`time_ns,event,task,detail`).
@@ -284,5 +400,51 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn enabled_zero_capacity_rejected() {
         Tracer::new(TraceLevel::Full, 0);
+    }
+
+    #[test]
+    fn display_is_compact_and_readable() {
+        assert_eq!(format!("{}", TraceLevel::Lifecycle), "lifecycle");
+        let ev = TraceEvent::Migrate {
+            at_ns: 10,
+            task: TaskId(3),
+            from: CoreId(0),
+            to: CoreId(2),
+        };
+        assert_eq!(format!("{ev}"), "[          10ns] migrate tid3 cpu0->cpu2");
+        let slice = TraceEvent::Slice {
+            at_ns: 5,
+            task: TaskId(1),
+            core: CoreId(1),
+            duration_ns: 100,
+            instructions: 42,
+        };
+        assert!(format!("{slice}").contains("slice   tid1 on cpu1 +100ns (42 instr)"));
+    }
+
+    #[test]
+    fn chrome_conversion_matches_trace_schema() {
+        let mut t = Tracer::new(TraceLevel::Full, 8);
+        t.record(TraceEvent::Slice {
+            at_ns: 2_000,
+            task: TaskId(1),
+            core: CoreId(3),
+            duration_ns: 1_000,
+            instructions: 7,
+        });
+        t.record(TraceEvent::Wake {
+            at_ns: 3_000,
+            task: TaskId(1),
+        });
+        let events = t.chrome_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].ph, "X");
+        assert_eq!(events[0].tid, 3);
+        assert!((events[0].ts - 2.0).abs() < 1e-12);
+        assert!((events[0].dur - 1.0).abs() < 1e-12);
+        assert_eq!(events[1].ph, "i");
+        let json = telemetry::chrome_trace_json(&events);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"cat\":\"slice\""));
     }
 }

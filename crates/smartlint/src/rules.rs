@@ -106,6 +106,7 @@ const SIM_CRATES: &[&str] = &[
     "crates/archsim/src/",
     "crates/kernelsim/src/",
     "crates/core/src/",
+    "crates/telemetry/src/",
 ];
 
 /// Library crates subject to panic hygiene (P1) and determinism (D2).
@@ -117,6 +118,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/workloads/src/",
     "crates/core/src/",
     "crates/smartlint/src/",
+    "crates/telemetry/src/",
 ];
 
 /// Counter/energy accounting files where every numeric `as` cast must

@@ -1,0 +1,497 @@
+//! # telemetry — deterministic observability for the closed loop
+//!
+//! SmartBalance is a *sense → predict → balance* feedback loop; this
+//! crate is the layer that watches the loop watch the workload. It
+//! provides:
+//!
+//! - a **metrics registry** ([`MetricsRegistry`]): counters, gauges and
+//!   fixed-bucket histograms on ordered maps, keyed by pre-rendered
+//!   `name{label="value"}` strings;
+//! - **epoch spans** ([`EpochObs`]): one record per `run_epoch` with
+//!   sense health, degrade rung, annealer trajectory, a rolling
+//!   predicted-vs-realized accuracy audit, estimate-cache deltas and
+//!   migration churn;
+//! - **exporters**: per-epoch JSONL ([`spans_jsonl`]), Chrome
+//!   `trace_events` JSON ([`chrome_trace_json`]) and a Prometheus text
+//!   snapshot ([`MetricsRegistry::prometheus_text`]).
+//!
+//! ## Determinism rules
+//!
+//! Telemetry must never perturb the simulation and must itself be
+//! bit-reproducible: **simulation-ns timestamps only** (no
+//! `Instant`/`SystemTime` — enforced by smartlint D2, which covers this
+//! crate), ordered containers only (D1), and recording is pure
+//! accumulation — no sampling, no thresholds that feed back into the
+//! loop. The same seeds therefore produce byte-identical JSONL, trace
+//! and Prometheus output on every rerun and any worker count.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod span;
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+pub use export::{chrome_trace_json, ns_to_us, spans_jsonl, ChromeEvent};
+pub use registry::{labeled, Histogram, MetricsRegistry};
+pub use span::EpochObs;
+
+/// Shared handle to one [`Telemetry`] hub. The system and the balancer
+/// each hold a clone and borrow it at disjoint points of `run_epoch`
+/// (system: epoch start/end and allocation application; balancer:
+/// inside `rebalance`), so the `RefCell` borrows never overlap.
+pub type TelemetryHandle = Rc<RefCell<Telemetry>>;
+
+/// Creates a fresh hub and returns its shared handle.
+pub fn shared() -> TelemetryHandle {
+    Rc::new(RefCell::new(Telemetry::new()))
+}
+
+/// Relative-error histogram bounds shared by the IPS and power audits.
+pub const ERROR_BOUNDS: &[f64] = &[0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0];
+
+/// A one-epoch-ahead prediction for a thread: the core the balancer
+/// placed it on plus the model's predicted rates there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Prediction {
+    core: u64,
+    ips: f64,
+    power_w: f64,
+}
+
+/// The telemetry hub: accumulates spans, registry series and the
+/// prediction audit for one simulated system.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    spans: Vec<EpochObs>,
+    current: EpochObs,
+    prev_mode: String,
+    prev_slices: u64,
+    prev_hits: u64,
+    prev_misses: u64,
+    pending: BTreeMap<u64, Prediction>,
+    cur_ips_err_sum: f64,
+    cur_power_err_sum: f64,
+    audit_samples: u64,
+    audit_ips_err_sum: f64,
+    audit_power_err_sum: f64,
+}
+
+impl Telemetry {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens the span for `epoch` at simulation time `now_ns`.
+    pub fn epoch_start(&mut self, epoch: u64, now_ns: u64) {
+        self.current = EpochObs::begin(epoch, now_ns);
+        self.cur_ips_err_sum = 0.0;
+        self.cur_power_err_sum = 0.0;
+    }
+
+    /// Records the sensing phase's health tally for the open span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_sense(
+        &mut self,
+        candidates: u64,
+        fresh: u64,
+        invalid: u64,
+        replayed: u64,
+        expired: u64,
+        priors: u64,
+        blind: u64,
+    ) {
+        let c = &mut self.current;
+        c.sense_candidates = candidates;
+        c.sense_fresh = fresh;
+        c.sense_invalid = invalid;
+        c.sense_replayed = replayed;
+        c.sense_expired = expired;
+        c.sense_priors = priors;
+        c.sense_blind = blind;
+        self.registry
+            .counter_add("sb_sense_candidates_total", candidates);
+        self.registry.counter_add("sb_sense_blind_total", blind);
+        self.registry.counter_add("sb_sense_invalid_total", invalid);
+    }
+
+    /// Records the degrade-ladder rung chosen for the open span.
+    /// `transitions_total` is the controller's cumulative rung-change
+    /// count; the per-epoch transition flag is derived from the
+    /// previously recorded mode.
+    pub fn record_degrade(&mut self, mode: &str, rank: u64, transitions_total: u64) {
+        let c = &mut self.current;
+        c.mode_transition = !self.prev_mode.is_empty() && self.prev_mode != mode;
+        c.mode = mode.to_string();
+        c.mode_rank = rank;
+        c.mode_transitions_total = transitions_total;
+        self.prev_mode = mode.to_string();
+        self.registry
+            .counter_add(&labeled("sb_degrade_epochs_total", &[("mode", mode)]), 1);
+        self.registry
+            .gauge_set("sb_degrade_rung", rank_as_f64(rank));
+        if c.mode_transition {
+            self.registry.counter_add("sb_mode_transitions_total", 1);
+        }
+    }
+
+    /// Records the annealer's outcome for the open span.
+    pub fn record_anneal(&mut self, iterations: u64, accepted: u64, initial: f64, objective: f64) {
+        let c = &mut self.current;
+        c.anneal_ran = true;
+        c.anneal_iterations = iterations;
+        c.anneal_accepted = accepted;
+        c.anneal_initial_objective = initial;
+        c.anneal_objective = objective;
+        self.registry.counter_add("sb_anneal_epochs_total", 1);
+        self.registry
+            .counter_add("sb_anneal_iterations_total", iterations);
+        self.registry
+            .counter_add("sb_anneal_accepted_total", accepted);
+        self.registry.gauge_set("sb_anneal_objective", objective);
+    }
+
+    /// Stores the model's one-epoch-ahead prediction for `task`: it was
+    /// placed on `core` and is expected to run at `ips` / `power_w`.
+    /// Overwrites any unresolved prediction for the same task.
+    pub fn record_prediction(&mut self, task: u64, core: u64, ips: f64, power_w: f64) {
+        self.pending.insert(task, Prediction { core, ips, power_w });
+    }
+
+    /// Resolves a pending prediction against the realized rates for
+    /// `task`, now measured on `core`. The sample only counts when the
+    /// task actually ran where it was placed (a rejected or re-routed
+    /// migration invalidates the prediction) and both realized rates
+    /// are positive. Pending entries are consumed either way.
+    pub fn resolve_prediction(&mut self, task: u64, core: u64, ips: f64, power_w: f64) {
+        let Some(pred) = self.pending.remove(&task) else {
+            return;
+        };
+        let usable = ips.is_finite() && power_w.is_finite() && ips > 0.0 && power_w > 0.0;
+        if pred.core != core || !usable {
+            return;
+        }
+        let ips_err = (pred.ips - ips).abs() / ips;
+        let power_err = (pred.power_w - power_w).abs() / power_w;
+        self.current.audit_samples += 1;
+        self.cur_ips_err_sum += ips_err;
+        self.cur_power_err_sum += power_err;
+        self.audit_samples += 1;
+        self.audit_ips_err_sum += ips_err;
+        self.audit_power_err_sum += power_err;
+        self.registry
+            .histogram_observe("sb_prediction_abs_rel_error_ips", ERROR_BOUNDS, ips_err);
+        self.registry.histogram_observe(
+            "sb_prediction_abs_rel_error_power",
+            ERROR_BOUNDS,
+            power_err,
+        );
+    }
+
+    /// Records the outcome of applying an allocation: `requested`
+    /// entries, `migrated` moves performed, and per-reason rejection
+    /// counts as `(reason, count)` pairs in a fixed order.
+    pub fn record_apply(&mut self, requested: u64, migrated: u64, rejected: &[(&str, u64)]) {
+        let c = &mut self.current;
+        c.alloc_requested += requested;
+        c.migrated += migrated;
+        self.registry
+            .counter_add("sb_alloc_requested_total", requested);
+        self.registry.counter_add("sb_migrations_total", migrated);
+        for (reason, count) in rejected {
+            if *count == 0 {
+                continue;
+            }
+            c.rejected += count;
+            self.registry.counter_add(
+                &labeled("sb_migrations_rejected_total", &[("reason", reason)]),
+                *count,
+            );
+        }
+    }
+
+    /// Closes the open span at simulation time `now_ns`. The cumulative
+    /// slice and estimate-cache totals are diffed against the previous
+    /// close to produce per-epoch deltas.
+    pub fn epoch_end(&mut self, now_ns: u64, slices: u64, cache_hits: u64, cache_misses: u64) {
+        let c = &mut self.current;
+        c.end_ns = now_ns;
+        c.slices = slices.saturating_sub(self.prev_slices);
+        c.cache_hits = cache_hits.saturating_sub(self.prev_hits);
+        c.cache_misses = cache_misses.saturating_sub(self.prev_misses);
+        self.prev_slices = slices;
+        self.prev_hits = cache_hits;
+        self.prev_misses = cache_misses;
+        if c.audit_samples > 0 {
+            c.audit_mean_abs_ips_err = self.cur_ips_err_sum / count_as_f64(c.audit_samples);
+            c.audit_mean_abs_power_err = self.cur_power_err_sum / count_as_f64(c.audit_samples);
+        }
+        self.registry.counter_add("sb_epochs_total", 1);
+        self.registry.counter_add("sb_slices_total", c.slices);
+        self.registry
+            .counter_add("sb_estimate_cache_hits_total", c.cache_hits);
+        self.registry
+            .counter_add("sb_estimate_cache_misses_total", c.cache_misses);
+        let finished = std::mem::take(&mut self.current);
+        self.spans.push(finished);
+    }
+
+    /// Every closed span, in epoch order.
+    pub fn spans(&self) -> &[EpochObs] {
+        &self.spans
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Per-epoch JSONL stream (one `EpochObs` object per line).
+    pub fn jsonl(&self) -> String {
+        spans_jsonl(&self.spans)
+    }
+
+    /// Chrome `trace_events` for the closed spans: one `"X"` lane-0
+    /// event per epoch, annotated with mode, audit and churn figures.
+    pub fn chrome_spans(&self) -> Vec<ChromeEvent> {
+        self.spans
+            .iter()
+            .map(|s| {
+                let name = format!("epoch {}", s.epoch);
+                let mut ev = ChromeEvent::complete(&name, "epoch", s.start_ns, s.end_ns, 0, 0);
+                if !s.mode.is_empty() {
+                    ev = ev.with_arg("mode", s.mode.clone());
+                }
+                ev.with_arg("slices", s.slices.to_string())
+                    .with_arg("audit_samples", s.audit_samples.to_string())
+                    .with_arg("migrated", s.migrated.to_string())
+                    .with_arg("rejected", s.rejected.to_string())
+            })
+            .collect()
+    }
+
+    /// Controller-health summary over every closed span.
+    pub fn summary(&self) -> ObsSummary {
+        let epochs = self.spans.len() as u64;
+        let mut anneal_epochs = 0u64;
+        let mut anneal_improved = 0u64;
+        let mut mode_epochs = 0u64;
+        let mut degrade_epochs = 0u64;
+        let mut transitions = 0u64;
+        let mut migrations = 0u64;
+        let mut rejected = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for s in &self.spans {
+            if s.anneal_ran {
+                anneal_epochs += 1;
+                if s.anneal_objective > s.anneal_initial_objective {
+                    anneal_improved += 1;
+                }
+            }
+            if !s.mode.is_empty() {
+                mode_epochs += 1;
+                if s.mode != "full" {
+                    degrade_epochs += 1;
+                }
+            }
+            if s.mode_transition {
+                transitions += 1;
+            }
+            migrations += s.migrated;
+            rejected += s.rejected;
+            hits += s.cache_hits;
+            misses += s.cache_misses;
+        }
+        ObsSummary {
+            epochs,
+            prediction_samples: self.audit_samples,
+            mean_abs_ips_error: mean(self.audit_ips_err_sum, self.audit_samples),
+            mean_abs_power_error: mean(self.audit_power_err_sum, self.audit_samples),
+            anneal_epochs,
+            anneal_convergence_rate: ratio(anneal_improved, anneal_epochs),
+            degrade_epochs,
+            degrade_epoch_fraction: ratio(degrade_epochs, mode_epochs),
+            mode_transitions: transitions,
+            migrations,
+            rejected_migrations: rejected,
+            cache_hit_rate: ratio(hits, hits + misses),
+        }
+    }
+
+    /// Snapshot bundle for embedding in suite reports.
+    pub fn capture(&self) -> ObsCapture {
+        ObsCapture {
+            summary: self.summary(),
+            jsonl: self.jsonl(),
+            prometheus: self.registry.prometheus_text(),
+        }
+    }
+}
+
+/// Controller-health figures aggregated over a run — the payload CI
+/// tracks in `BENCH_obs.json`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObsSummary {
+    /// Closed epoch spans.
+    pub epochs: u64,
+    /// Predicted-vs-realized samples resolved over the run.
+    pub prediction_samples: u64,
+    /// Mean |relative IPS prediction error| over all samples.
+    pub mean_abs_ips_error: f64,
+    /// Mean |relative power prediction error| over all samples.
+    pub mean_abs_power_error: f64,
+    /// Epochs in which the annealer ran.
+    pub anneal_epochs: u64,
+    /// Fraction of anneal epochs that improved on the initial objective.
+    pub anneal_convergence_rate: f64,
+    /// Epochs spent below the full-capability rung.
+    pub degrade_epochs: u64,
+    /// `degrade_epochs` over epochs where a rung was reported.
+    pub degrade_epoch_fraction: f64,
+    /// Per-epoch rung changes observed.
+    pub mode_transitions: u64,
+    /// Balancer migrations performed.
+    pub migrations: u64,
+    /// Balancer migrations rejected.
+    pub rejected_migrations: u64,
+    /// Estimate-cache hit rate over the observed epochs.
+    pub cache_hit_rate: f64,
+}
+
+/// A serializable observability bundle: summary plus the JSONL and
+/// Prometheus exports, ready to embed in a `SuiteReport`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObsCapture {
+    /// Aggregated controller-health figures.
+    pub summary: ObsSummary,
+    /// Per-epoch JSONL stream.
+    pub jsonl: String,
+    /// Prometheus text snapshot.
+    pub prometheus: String,
+}
+
+/// `sum / n`, or 0 when `n` is 0.
+fn mean(sum: f64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum / count_as_f64(n)
+    }
+}
+
+/// `num / den` as a fraction, or 0 when `den` is 0.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        count_as_f64(num) / count_as_f64(den)
+    }
+}
+
+/// Widens an event count for averaging (exact below 2^53).
+fn count_as_f64(n: u64) -> f64 {
+    n as f64
+}
+
+/// Widens a rung rank for the gauge.
+fn rank_as_f64(rank: u64) -> f64 {
+    rank as f64
+}
+
+/// Widens simulation nanoseconds for µs conversion (exact below 2^53).
+pub(crate) fn ns_as_f64(ns: u64) -> f64 {
+    ns as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_two_epochs(t: &mut Telemetry) {
+        t.epoch_start(0, 0);
+        t.record_sense(4, 4, 0, 0, 0, 0, 0);
+        t.record_degrade("full", 0, 0);
+        t.record_anneal(100, 20, 1.0, 1.5);
+        t.record_prediction(7, 2, 100.0, 1.0);
+        t.record_apply(4, 2, &[("offline_core", 1)]);
+        t.epoch_end(60, 10, 6, 4);
+
+        t.epoch_start(1, 60);
+        t.record_degrade("predict-free", 1, 1);
+        t.resolve_prediction(7, 2, 80.0, 1.1);
+        t.epoch_end(120, 25, 16, 8);
+    }
+
+    #[test]
+    fn spans_capture_phases_and_deltas() {
+        let mut t = Telemetry::new();
+        run_two_epochs(&mut t);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].slices, 10);
+        assert_eq!(spans[1].slices, 15, "second span is a delta");
+        assert_eq!(spans[1].cache_hits, 10);
+        assert!(spans[0].anneal_ran);
+        assert_eq!(spans[0].rejected, 1);
+        assert!(!spans[0].mode_transition);
+        assert!(spans[1].mode_transition, "full → predict-free");
+        assert_eq!(spans[1].audit_samples, 1);
+        assert!((spans[1].audit_mean_abs_ips_err - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates_controller_health() {
+        let mut t = Telemetry::new();
+        run_two_epochs(&mut t);
+        let s = t.summary();
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.prediction_samples, 1);
+        assert!((s.mean_abs_ips_error - 0.25).abs() < 1e-12);
+        assert_eq!(s.anneal_epochs, 1);
+        assert!((s.anneal_convergence_rate - 1.0).abs() < 1e-12);
+        assert_eq!(s.degrade_epochs, 1);
+        assert!((s.degrade_epoch_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(s.mode_transitions, 1);
+        assert_eq!(s.migrations, 2);
+        assert_eq!(s.rejected_migrations, 1);
+    }
+
+    #[test]
+    fn mismatched_core_invalidates_prediction() {
+        let mut t = Telemetry::new();
+        t.epoch_start(0, 0);
+        t.record_prediction(3, 1, 50.0, 0.5);
+        t.epoch_end(60, 0, 0, 0);
+        t.epoch_start(1, 60);
+        // Task 3 ended up on core 0 (migration rejected) — no sample.
+        t.resolve_prediction(3, 0, 50.0, 0.5);
+        t.epoch_end(120, 0, 0, 0);
+        assert_eq!(t.summary().prediction_samples, 0);
+    }
+
+    #[test]
+    fn exports_are_deterministic_across_reruns() {
+        let mut a = Telemetry::new();
+        let mut b = Telemetry::new();
+        run_two_epochs(&mut a);
+        run_two_epochs(&mut b);
+        assert_eq!(a.jsonl(), b.jsonl());
+        assert_eq!(
+            a.registry().prometheus_text(),
+            b.registry().prometheus_text()
+        );
+        assert_eq!(
+            chrome_trace_json(&a.chrome_spans()),
+            chrome_trace_json(&b.chrome_spans())
+        );
+        assert_eq!(a.capture(), b.capture());
+    }
+}

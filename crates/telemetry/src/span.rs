@@ -1,0 +1,95 @@
+//! Epoch spans: one [`EpochObs`] record per `System::run_epoch`,
+//! covering every phase of the closed loop (sense health, degrade
+//! rung, annealer trajectory, prediction audit, cache and migration
+//! activity). All timestamps are simulation nanoseconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything observed during one epoch of the closed loop.
+///
+/// Counter-style fields are per-epoch deltas unless suffixed `_total`
+/// (cumulative since attach). Fields the balancer never reported stay
+/// at their defaults — e.g. `mode` is empty under a non-SmartBalance
+/// policy and `anneal_ran` is false on degraded epochs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpochObs {
+    /// Epoch index (matches `EpochReport::epoch`).
+    pub epoch: u64,
+    /// Simulation time when the epoch began, in ns.
+    pub start_ns: u64,
+    /// Simulation time when the epoch ended, in ns.
+    pub end_ns: u64,
+    /// Slices executed during this epoch.
+    pub slices: u64,
+    /// Estimate-cache hits during this epoch.
+    pub cache_hits: u64,
+    /// Estimate-cache misses during this epoch.
+    pub cache_misses: u64,
+
+    /// Threads the sensor considered this epoch.
+    pub sense_candidates: u64,
+    /// Threads with fresh, sane counter signatures.
+    pub sense_fresh: u64,
+    /// Threads whose signatures failed sanity validation.
+    pub sense_invalid: u64,
+    /// Threads served from last-good signature replay.
+    pub sense_replayed: u64,
+    /// Threads whose replayed signature exceeded its TTL.
+    pub sense_expired: u64,
+    /// Threads that fell back to the neutral prior.
+    pub sense_priors: u64,
+    /// Threads that ran but produced no usable signal.
+    pub sense_blind: u64,
+
+    /// Degrade-ladder rung name (`full`, `predict-free`, `load-only`);
+    /// empty when the policy reported no mode.
+    pub mode: String,
+    /// Degrade-ladder rung rank (0 = full capability).
+    pub mode_rank: u64,
+    /// True when the rung changed relative to the previous epoch.
+    pub mode_transition: bool,
+    /// Cumulative rung changes since the controller was constructed.
+    pub mode_transitions_total: u64,
+
+    /// True when the simulated annealer ran this epoch.
+    pub anneal_ran: bool,
+    /// Annealer iterations executed.
+    pub anneal_iterations: u64,
+    /// Annealer moves accepted.
+    pub anneal_accepted: u64,
+    /// Objective of the initial (current) allocation.
+    pub anneal_initial_objective: f64,
+    /// Objective of the returned allocation.
+    pub anneal_objective: f64,
+
+    /// Predicted-vs-realized samples resolved this epoch.
+    pub audit_samples: u64,
+    /// Mean |relative IPS prediction error| over this epoch's samples.
+    pub audit_mean_abs_ips_err: f64,
+    /// Mean |relative power prediction error| over this epoch's samples.
+    pub audit_mean_abs_power_err: f64,
+
+    /// Allocation entries the balancer requested be applied.
+    pub alloc_requested: u64,
+    /// Migrations actually performed.
+    pub migrated: u64,
+    /// Migrations rejected (all reasons).
+    pub rejected: u64,
+}
+
+impl EpochObs {
+    /// A fresh span for `epoch` starting at `start_ns`.
+    pub fn begin(epoch: u64, start_ns: u64) -> Self {
+        EpochObs {
+            epoch,
+            start_ns,
+            end_ns: start_ns,
+            ..EpochObs::default()
+        }
+    }
+
+    /// Span duration in simulation nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
