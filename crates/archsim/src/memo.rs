@@ -179,6 +179,16 @@ impl EstimateCache {
         self.map.is_empty()
     }
 
+    /// Records a hit without probing the table. Execution engines that
+    /// validate a privately cached estimate (e.g. the batched slice
+    /// engine's per-task run state) call this instead of re-probing, so
+    /// the `hits + misses == total lookups` telemetry invariant holds
+    /// identically whether the estimate was replayed from the table or
+    /// from engine-local state derived from it.
+    pub fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Lookups served from the table.
     pub fn hits(&self) -> u64 {
         self.hits

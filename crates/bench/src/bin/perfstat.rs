@@ -1,12 +1,22 @@
 //! `perfstat` — hot-loop performance counter for the simulation engine.
 //!
 //! Runs the reference epoch-loop scenario (quad heterogeneous platform,
-//! 24 mixed batch/interactive multi-phase tasks, 2000 epochs) twice —
-//! once with the memoized estimate engine enabled and once with it
-//! disabled — and reports slices/sec, epochs/sec and the estimate-cache
-//! hit statistics for each round, plus the wall-clock of a small
-//! [`ExperimentSuite`] grid. Results are written to
-//! `BENCH_hotpath.json` (override with `--json <path>`).
+//! 24 mixed batch/interactive multi-phase tasks, 2000 epochs) three
+//! times — the reference slice engine with the memoized estimate cache
+//! enabled and disabled, and the batched slice engine — and reports
+//! slices/sec, epochs/sec and the estimate-cache hit statistics for
+//! each round, plus the wall-clock of a small [`ExperimentSuite`] grid.
+//! Results are written to `BENCH_hotpath.json` (override with
+//! `--json <path>`).
+//!
+//! The rounds double as a parity gate: all three must commit the same
+//! instructions, dispatch the same slice count, and land bit-identical
+//! total energy (`f64::to_bits`). A divergence aborts the process, so
+//! the CI smoke run fails if either engine drifts.
+//!
+//! Report schema v2: per-engine rounds (`engine` + `energy_bits` fields
+//! on each row), `speedup` (estimate memoization, uncached/cached) and
+//! `speedup_batched` (batched engine over the cached reference round).
 //!
 //! Flags:
 //!
@@ -17,7 +27,7 @@
 use std::time::Instant;
 
 use archsim::Platform;
-use kernelsim::{NullBalancer, System, SystemConfig};
+use kernelsim::{EngineKind, NullBalancer, System, SystemConfig};
 use serde::Serialize;
 use smartbalance::{ExperimentSpec, ExperimentSuite, Policy};
 use workloads::{ImbConfig, Level, SyntheticGenerator};
@@ -28,6 +38,8 @@ const SEED: u64 = 0xB007;
 /// One measured run of the epoch loop.
 #[derive(Debug, Clone, Serialize)]
 struct RoundStats {
+    /// Slice engine the round ran on (`reference` / `batched`).
+    engine: String,
     /// Whether the estimate cache was enabled.
     cached: bool,
     /// Wall-clock of the measured round, seconds.
@@ -42,6 +54,9 @@ struct RoundStats {
     slices_per_s: f64,
     /// Instructions committed (identical across rounds by design).
     instructions: u64,
+    /// `f64::to_bits` of the total platform energy — the bit-parity
+    /// fingerprint every round must agree on.
+    energy_bits: u64,
     /// Estimate-cache hits during the round.
     cache_hits: u64,
     /// Estimate-cache misses during the round.
@@ -50,21 +65,28 @@ struct RoundStats {
     cache_hit_rate: f64,
 }
 
-/// The full `BENCH_hotpath.json` document.
+/// The full `BENCH_hotpath.json` document (schema v2).
 #[derive(Debug, Clone, Serialize)]
 struct HotpathReport {
+    /// Report schema version.
+    schema: u32,
     /// `true` when produced by a `--smoke` run (numbers not comparable).
     smoke: bool,
     /// Tasks in the epoch-loop scenario.
     tasks: usize,
     /// Epochs per round in the epoch-loop scenario.
     epochs: u64,
-    /// Measured round with the estimate cache enabled.
+    /// Reference engine, estimate cache enabled.
     cached: RoundStats,
-    /// Measured round with the estimate cache disabled.
+    /// Reference engine, estimate cache disabled.
     uncached: RoundStats,
+    /// Batched engine, estimate cache enabled.
+    batched: RoundStats,
     /// `uncached.wall_s / cached.wall_s` — the memoization speedup.
     speedup: f64,
+    /// `cached.wall_s / batched.wall_s` — the batched-engine speedup
+    /// over the cached reference round.
+    speedup_batched: f64,
     /// Jobs in the suite wall-clock grid.
     suite_jobs: usize,
     /// Workers the suite ran on.
@@ -76,8 +98,12 @@ struct HotpathReport {
 }
 
 /// Runs one full round of the reference scenario and measures it.
-fn run_round(cached: bool, epochs: u64, tasks: usize) -> RoundStats {
-    let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+fn run_round(engine: EngineKind, cached: bool, epochs: u64, tasks: usize) -> RoundStats {
+    let config = SystemConfig {
+        engine,
+        ..SystemConfig::default()
+    };
+    let mut sys = System::new(Platform::quad_heterogeneous(), config);
     sys.set_estimate_caching(cached);
     let mut gen = SyntheticGenerator::new(SEED);
     for i in 0..tasks {
@@ -93,6 +119,7 @@ fn run_round(cached: bool, epochs: u64, tasks: usize) -> RoundStats {
     let slices = sys.total_slices();
     let cache = sys.estimate_cache();
     RoundStats {
+        engine: engine.as_str().to_owned(),
         cached,
         wall_s,
         epochs,
@@ -100,10 +127,32 @@ fn run_round(cached: bool, epochs: u64, tasks: usize) -> RoundStats {
         slices,
         slices_per_s: slices as f64 / wall_s,
         instructions: sys.stats().total_instructions,
+        energy_bits: sys.sensors().total_energy_j().to_bits(),
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
         cache_hit_rate: cache.hit_rate(),
     }
+}
+
+/// Asserts the parity contract between two rounds: identical committed
+/// work and bit-identical energy. Process-aborting on purpose — this is
+/// the CI divergence gate.
+fn assert_parity(a: &RoundStats, b: &RoundStats) {
+    assert_eq!(
+        a.instructions, b.instructions,
+        "instruction divergence: {}(cached={}) vs {}(cached={})",
+        a.engine, a.cached, b.engine, b.cached
+    );
+    assert_eq!(
+        a.slices, b.slices,
+        "slice-count divergence: {}(cached={}) vs {}(cached={})",
+        a.engine, a.cached, b.engine, b.cached
+    );
+    assert_eq!(
+        a.energy_bits, b.energy_bits,
+        "energy bit divergence: {}(cached={}) vs {}(cached={})",
+        a.engine, a.cached, b.engine, b.cached
+    );
 }
 
 /// Times a small experiment-suite grid: two IMB configurations,
@@ -148,25 +197,33 @@ fn main() {
     };
 
     // Warm-up round: page in code, warm the allocator.
-    run_round(true, epochs.min(200), tasks);
+    run_round(EngineKind::Reference, true, epochs.min(200), tasks);
 
-    let cached = run_round(true, epochs, tasks);
-    let uncached = run_round(false, epochs, tasks);
+    let cached = run_round(EngineKind::Reference, true, epochs, tasks);
+    let uncached = run_round(EngineKind::Reference, false, epochs, tasks);
+    let batched = run_round(EngineKind::Batched, true, epochs, tasks);
+    // Memoization must not change simulated execution, and the batched
+    // engine must be bit-identical to the reference interpreter.
+    assert_parity(&cached, &uncached);
+    assert_parity(&cached, &batched);
     assert_eq!(
-        cached.instructions, uncached.instructions,
-        "memoization must not change simulated execution"
+        (batched.cache_hits, batched.cache_misses),
+        (cached.cache_hits, cached.cache_misses),
+        "estimate-cache telemetry divergence between engines"
     );
-    assert_eq!(cached.slices, uncached.slices);
 
     let (suite_jobs, suite_workers, suite_wall_s, suite_jobs_per_s) = run_suite(suite_scale);
 
     let report = HotpathReport {
+        schema: 2,
         smoke,
         tasks,
         epochs,
         speedup: uncached.wall_s / cached.wall_s,
+        speedup_batched: cached.wall_s / batched.wall_s,
         cached,
         uncached,
+        batched,
         suite_jobs,
         suite_workers,
         suite_wall_s,
@@ -174,13 +231,17 @@ fn main() {
     };
 
     println!(
-        "{:<10} {:>9} {:>12} {:>14} {:>10} {:>9}",
+        "{:<20} {:>9} {:>12} {:>14} {:>10} {:>9}",
         "round", "wall_s", "epochs/s", "slices/s", "hit_rate", "slices"
     );
-    for r in [&report.cached, &report.uncached] {
+    for r in [&report.cached, &report.uncached, &report.batched] {
         println!(
-            "{:<10} {:>9.4} {:>12.1} {:>14.1} {:>10.4} {:>9}",
-            if r.cached { "cached" } else { "uncached" },
+            "{:<20} {:>9.4} {:>12.1} {:>14.1} {:>10.4} {:>9}",
+            format!(
+                "{}/{}",
+                r.engine,
+                if r.cached { "cached" } else { "uncached" }
+            ),
             r.wall_s,
             r.epochs_per_s,
             r.slices_per_s,
@@ -189,8 +250,9 @@ fn main() {
         );
     }
     println!(
-        "speedup: {:.2}x  |  suite: {} jobs on {} workers in {:.2} s ({:.2} jobs/s)",
+        "speedup: {:.2}x memoization, {:.2}x batched engine  |  suite: {} jobs on {} workers in {:.2} s ({:.2} jobs/s)",
         report.speedup,
+        report.speedup_batched,
         report.suite_jobs,
         report.suite_workers,
         report.suite_wall_s,

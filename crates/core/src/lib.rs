@@ -97,9 +97,11 @@ pub use objective::{Goal, Objective};
 pub use optimal::{exhaustive_best, known_optimum_case, KnownCase};
 pub use predict::{PowerCoeffs, PredictorSet};
 pub use runner::{
-    compare_policies, run_experiment, run_experiment_instrumented, run_experiment_traced,
-    ExperimentSpec, Policy, RunResult, TraceCapture, TraceRequest,
+    compare_policies, run_experiment_with, ExperimentSpec, Policy, RunOptions, RunOutcome,
+    RunResult, TraceCapture, TraceRequest,
 };
+#[allow(deprecated)]
+pub use runner::{run_experiment, run_experiment_instrumented, run_experiment_traced};
 pub use sense::{SenseHealth, Sensor, ThreadSense, FEATURE_NAMES, NUM_FEATURES};
 pub use suite::{
     parallel_indexed, EfficiencyGain, ExperimentSuite, JobResult, SuiteJob, SuiteProgress,

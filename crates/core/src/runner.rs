@@ -4,7 +4,9 @@
 //! around it.
 
 use archsim::Platform;
-use kernelsim::{LoadBalancer, NullBalancer, System, SystemConfig, SystemStats, TraceLevel};
+use kernelsim::{
+    EngineKind, LoadBalancer, NullBalancer, System, SystemConfig, SystemStats, TraceLevel,
+};
 use serde::{Deserialize, Serialize};
 use workloads::WorkloadProfile;
 
@@ -98,6 +100,14 @@ impl ExperimentSpec {
         self
     }
 
+    /// Selects the slice-execution backend for this spec (a shortcut
+    /// for setting `sys_config.engine`). A per-run
+    /// [`RunOptions::with_engine`] override wins over this.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.sys_config.engine = engine;
+        self
+    }
+
     /// Sets the SmartBalance configuration used when this spec runs
     /// under [`Policy::Smart`].
     pub fn with_policy_config(mut self, config: SmartBalanceConfig) -> Self {
@@ -172,38 +182,83 @@ pub struct TraceCapture {
     pub dropped: u64,
 }
 
+/// Per-run knobs for [`run_experiment_with`]: scheduler-event tracing,
+/// closed-loop observability and a slice-engine override. The default
+/// is a bare measurement run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Scheduler-event trace to capture, if any. A request at
+    /// [`TraceLevel::Off`] is treated as no request at all — no tracer
+    /// is armed and no empty capture is allocated.
+    pub trace: Option<TraceRequest>,
+    /// When set, a [`telemetry::Telemetry`] hub is attached to both the
+    /// system and the balancer and its capture (summary + JSONL +
+    /// Prometheus snapshot) lands in the outcome.
+    pub observe: bool,
+    /// Slice-execution backend override; `None` runs whatever the
+    /// spec's `sys_config.engine` selects.
+    pub engine: Option<EngineKind>,
+}
+
+impl RunOptions {
+    /// A bare measurement run: no trace, no observability, the spec's
+    /// own engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a scheduler-event trace (builder style).
+    pub fn with_trace(mut self, level: TraceLevel, capacity: usize) -> Self {
+        self.trace = Some(TraceRequest { level, capacity });
+        self
+    }
+
+    /// Requests closed-loop observability (builder style).
+    pub fn with_observability(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
+    /// Overrides the slice-execution backend for this run only
+    /// (builder style); wins over the spec's `sys_config.engine`.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+}
+
+/// Everything one [`run_experiment_with`] call produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The experiment measurements.
+    pub result: RunResult,
+    /// Captured scheduler trace, if [`RunOptions::trace`] asked for one.
+    pub trace: Option<TraceCapture>,
+    /// Captured observability bundle, if [`RunOptions::observe`] was
+    /// set.
+    pub observability: Option<ObsCapture>,
+}
+
 /// Runs `spec` under the given balancer until all tasks complete (or
-/// the epoch limit hits) and returns the measurements.
-pub fn run_experiment(spec: &ExperimentSpec, balancer: &mut dyn LoadBalancer) -> RunResult {
-    run_experiment_traced(spec, balancer, None).0
-}
-
-/// [`run_experiment`] with optional scheduler-event tracing.
-pub fn run_experiment_traced(
-    spec: &ExperimentSpec,
-    balancer: &mut dyn LoadBalancer,
-    trace: Option<TraceRequest>,
-) -> (RunResult, Option<TraceCapture>) {
-    let (result, capture, _) = run_experiment_instrumented(spec, balancer, trace, false);
-    (result, capture)
-}
-
-/// [`run_experiment_traced`] plus closed-loop observability: when
-/// `observe` is set, a [`telemetry::Telemetry`] hub is attached to both
-/// the system and the balancer and its capture (summary + JSONL +
-/// Prometheus snapshot) is returned alongside the measurements.
+/// the epoch limit hits) and returns everything the run produced.
 ///
-/// A trace request at [`TraceLevel::Off`] is treated as no request at
-/// all — no tracer is armed and no empty capture is allocated.
-pub fn run_experiment_instrumented(
+/// This is the single experiment entry point; the former
+/// `run_experiment` / `run_experiment_traced` /
+/// `run_experiment_instrumented` trio are thin deprecated shims over
+/// it, differing only in which [`RunOptions`] they pass and which
+/// slices of the [`RunOutcome`] they return.
+pub fn run_experiment_with(
     spec: &ExperimentSpec,
     balancer: &mut dyn LoadBalancer,
-    trace: Option<TraceRequest>,
-    observe: bool,
-) -> (RunResult, Option<TraceCapture>, Option<ObsCapture>) {
-    let trace = trace.filter(|req| req.level != TraceLevel::Off);
-    let mut sys = System::new(spec.platform.clone(), spec.sys_config);
-    let hub = if observe {
+    options: RunOptions,
+) -> RunOutcome {
+    let trace = options.trace.filter(|req| req.level != TraceLevel::Off);
+    let mut sys_config = spec.sys_config;
+    if let Some(engine) = options.engine {
+        sys_config.engine = engine;
+    }
+    let mut sys = System::new(spec.platform.clone(), sys_config);
+    let hub = if options.observe {
         Some(telemetry::shared())
     } else {
         None
@@ -225,7 +280,7 @@ pub fn run_experiment_instrumented(
         events: sys.tracer().events().len(),
         dropped: sys.tracer().dropped(),
     });
-    let obs = hub.map(|hub| hub.borrow().capture());
+    let observability = hub.map(|hub| hub.borrow().capture());
     let result = RunResult {
         experiment: spec.name.clone(),
         policy: balancer.name().to_owned(),
@@ -233,7 +288,64 @@ pub fn run_experiment_instrumented(
         completed: stats.live_tasks == 0,
         stats,
     };
-    (result, capture, obs)
+    RunOutcome {
+        result,
+        trace: capture,
+        observability,
+    }
+}
+
+/// Runs `spec` under the given balancer and returns the measurements.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_experiment_with(spec, balancer, RunOptions::new())"
+)]
+pub fn run_experiment(spec: &ExperimentSpec, balancer: &mut dyn LoadBalancer) -> RunResult {
+    run_experiment_with(spec, balancer, RunOptions::new()).result
+}
+
+/// [`run_experiment_with`] returning only the measurements and trace.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_experiment_with with RunOptions { trace, .. }"
+)]
+pub fn run_experiment_traced(
+    spec: &ExperimentSpec,
+    balancer: &mut dyn LoadBalancer,
+    trace: Option<TraceRequest>,
+) -> (RunResult, Option<TraceCapture>) {
+    let outcome = run_experiment_with(
+        spec,
+        balancer,
+        RunOptions {
+            trace,
+            ..RunOptions::default()
+        },
+    );
+    (outcome.result, outcome.trace)
+}
+
+/// [`run_experiment_with`] with positional trace/observability knobs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_experiment_with with RunOptions { trace, observe, .. }"
+)]
+pub fn run_experiment_instrumented(
+    spec: &ExperimentSpec,
+    balancer: &mut dyn LoadBalancer,
+    trace: Option<TraceRequest>,
+    observe: bool,
+) -> (RunResult, Option<TraceCapture>, Option<ObsCapture>) {
+    let outcome = run_experiment_with(
+        spec,
+        balancer,
+        RunOptions {
+            trace,
+            observe,
+            engine: None,
+        },
+    );
+    (outcome.result, outcome.trace, outcome.observability)
 }
 
 /// Runs `spec` under each policy and returns the results in the same
@@ -243,7 +355,7 @@ pub fn compare_policies(spec: &ExperimentSpec, policies: &[Policy]) -> Vec<RunRe
         .iter()
         .map(|p| {
             let mut balancer = p.build(&spec.platform, spec.policy_config.as_ref());
-            run_experiment(spec, balancer.as_mut())
+            run_experiment_with(spec, balancer.as_mut(), RunOptions::new()).result
         })
         .collect()
 }
@@ -265,7 +377,7 @@ mod tests {
     fn run_completes_and_reports() {
         let spec = small_spec();
         let mut b = Policy::Vanilla.build(&spec.platform, None);
-        let r = run_experiment(&spec, b.as_mut());
+        let r = run_experiment_with(&spec, b.as_mut(), RunOptions::new()).result;
         assert!(r.completed);
         assert_eq!(r.policy, "vanilla");
         assert!(r.energy_efficiency() > 0.0);
@@ -306,7 +418,7 @@ mod tests {
             ..SmartBalanceConfig::default()
         });
         let mut policy = Policy::Smart.build(&spec.platform, spec.policy_config.as_ref());
-        let r = run_experiment(&spec, policy.as_mut());
+        let r = run_experiment_with(&spec, policy.as_mut(), RunOptions::new()).result;
         assert!(r.completed);
         assert!(r.energy_efficiency() > 0.0);
     }
@@ -322,9 +434,19 @@ mod tests {
             level: TraceLevel::Off,
             capacity: 64,
         };
-        let (r, capture) = run_experiment_traced(&spec, b.as_mut(), Some(req));
-        assert!(r.completed);
-        assert!(capture.is_none(), "Off-level request must not capture");
+        let outcome = run_experiment_with(
+            &spec,
+            b.as_mut(),
+            RunOptions {
+                trace: Some(req),
+                ..RunOptions::default()
+            },
+        );
+        assert!(outcome.result.completed);
+        assert!(
+            outcome.trace.is_none(),
+            "Off-level request must not capture"
+        );
 
         // A real request still captures.
         let mut b = Policy::Vanilla.build(&spec.platform, None);
@@ -332,15 +454,24 @@ mod tests {
             level: TraceLevel::Lifecycle,
             capacity: 64,
         };
-        let (_, capture) = run_experiment_traced(&spec, b.as_mut(), Some(req));
-        assert!(capture.is_some());
+        let outcome = run_experiment_with(
+            &spec,
+            b.as_mut(),
+            RunOptions::new().with_trace(req.level, req.capacity),
+        );
+        assert!(outcome.trace.is_some());
     }
 
     #[test]
     fn instrumented_run_observes_the_loop() {
         let spec = small_spec();
         let mut policy = Policy::Smart.build(&spec.platform, None);
-        let (r, _, obs) = run_experiment_instrumented(&spec, policy.as_mut(), None, true);
+        let outcome = run_experiment_with(
+            &spec,
+            policy.as_mut(),
+            RunOptions::new().with_observability(),
+        );
+        let (r, obs) = (outcome.result, outcome.observability);
         let obs = obs.expect("observability requested");
         assert!(r.completed);
         assert_eq!(obs.summary.epochs, r.epochs, "one span per epoch");
@@ -350,16 +481,16 @@ mod tests {
 
         // Not requested → not allocated, result identical.
         let mut policy = Policy::Smart.build(&spec.platform, None);
-        let (r2, _, none) = run_experiment_instrumented(&spec, policy.as_mut(), None, false);
-        assert!(none.is_none());
-        assert_eq!(r, r2, "observability must not perturb the run");
+        let o2 = run_experiment_with(&spec, policy.as_mut(), RunOptions::new());
+        assert!(o2.observability.is_none());
+        assert_eq!(r, o2.result, "observability must not perturb the run");
     }
 
     #[test]
     fn run_result_surfaces_migration_totals() {
         let spec = small_spec();
         let mut policy = Policy::Smart.build(&spec.platform, None);
-        let r = run_experiment(&spec, policy.as_mut());
+        let r = run_experiment_with(&spec, policy.as_mut(), RunOptions::new()).result;
         let totals = r.stats.migration_totals;
         assert_eq!(totals.migrated, r.stats.migrations);
         assert_eq!(
@@ -387,5 +518,47 @@ mod tests {
         // Efficiency ratio helper.
         let ratio = results[2].efficiency_vs(&results[1]);
         assert!(ratio > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_consolidated_entry_point() {
+        // The three legacy entry points are contracts: each must be an
+        // exact restriction of run_experiment_with until removed.
+        let spec = small_spec();
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        let consolidated = run_experiment_with(&spec, b.as_mut(), RunOptions::new()).result;
+
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        assert_eq!(consolidated, run_experiment(&spec, b.as_mut()));
+
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        let (traced, capture) = run_experiment_traced(&spec, b.as_mut(), None);
+        assert_eq!(consolidated, traced);
+        assert!(capture.is_none());
+
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        let (instr, capture, obs) = run_experiment_instrumented(&spec, b.as_mut(), None, false);
+        assert_eq!(consolidated, instr);
+        assert!(capture.is_none() && obs.is_none());
+    }
+
+    #[test]
+    fn engine_choice_threads_through_spec_and_options() {
+        let spec = small_spec().with_engine(EngineKind::Batched);
+        assert_eq!(spec.sys_config.engine, EngineKind::Batched);
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        let batched = run_experiment_with(&spec, b.as_mut(), RunOptions::new()).result;
+
+        // A per-run override beats the spec's engine — and whichever
+        // backend runs, the measurements are observationally identical.
+        let mut b = Policy::Vanilla.build(&spec.platform, None);
+        let reference = run_experiment_with(
+            &spec,
+            b.as_mut(),
+            RunOptions::new().with_engine(EngineKind::Reference),
+        )
+        .result;
+        assert_eq!(batched, reference, "engines must be indistinguishable");
     }
 }

@@ -35,12 +35,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
-use kernelsim::LoadBalancer;
+use kernelsim::{EngineKind, LoadBalancer};
 use serde::{Deserialize, Serialize};
 
 use crate::config::SmartBalanceConfig;
 use crate::runner::{
-    run_experiment_instrumented, ExperimentSpec, Policy, RunResult, TraceCapture, TraceRequest,
+    run_experiment_with, ExperimentSpec, Policy, RunOptions, RunResult, TraceCapture, TraceRequest,
 };
 use telemetry::ObsCapture;
 
@@ -69,6 +69,9 @@ pub struct SuiteJob {
     /// When set, the job runs with a telemetry hub attached and its
     /// [`ObsCapture`] lands in the [`JobResult`].
     pub observe: bool,
+    /// Slice-execution backend override for this job; `None` runs
+    /// whatever the spec's `sys_config.engine` selects.
+    pub engine: Option<EngineKind>,
 }
 
 impl SuiteJob {
@@ -81,6 +84,13 @@ impl SuiteJob {
     /// Requests closed-loop observability for this job (builder style).
     pub fn with_observability(mut self) -> Self {
         self.observe = true;
+        self
+    }
+
+    /// Overrides the slice-execution backend for this job (builder
+    /// style); wins over the spec's `sys_config.engine`.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -110,15 +120,22 @@ impl SuiteJob {
     fn execute(&self, index: usize) -> JobResult {
         let start = Instant::now();
         let mut balancer = self.build_balancer();
-        let (result, trace, obs) =
-            run_experiment_instrumented(&self.spec, balancer.as_mut(), self.trace, self.observe);
+        let outcome = run_experiment_with(
+            &self.spec,
+            balancer.as_mut(),
+            RunOptions {
+                trace: self.trace,
+                observe: self.observe,
+                engine: self.engine,
+            },
+        );
         JobResult {
             job_index: index,
             seed: self.seed,
             policy: self.policy,
-            result,
-            trace,
-            obs,
+            result: outcome.result,
+            trace: outcome.trace,
+            obs: outcome.observability,
             wall_s: start.elapsed().as_secs_f64(),
         }
     }
@@ -337,6 +354,19 @@ impl ExperimentSuite {
         index
     }
 
+    /// [`push`](Self::push) with a slice-engine override: the job runs
+    /// on `engine` regardless of the spec's `sys_config.engine`.
+    pub fn push_with_engine(
+        &mut self,
+        spec: ExperimentSpec,
+        policy: Policy,
+        engine: EngineKind,
+    ) -> usize {
+        let index = self.push_job(spec, policy, None);
+        self.jobs[index].engine = Some(engine);
+        index
+    }
+
     fn push_job(
         &mut self,
         spec: ExperimentSpec,
@@ -350,6 +380,7 @@ impl ExperimentSuite {
             seed: splitmix64(index as u64),
             trace,
             observe: false,
+            engine: None,
         });
         index
     }
@@ -570,6 +601,21 @@ mod tests {
         suite.push(tiny_spec("w"), Policy::Smart);
         let job = &suite.jobs()[1];
         assert_eq!(job.effective_config().sensor_seed, Some(job.seed));
+    }
+
+    #[test]
+    fn per_job_engine_override_is_observationally_invisible() {
+        // The same spec pushed once per engine must produce
+        // bit-identical canonicalized results — suite-level parity.
+        let mut suite = ExperimentSuite::new().with_workers(2);
+        let a = suite.push_with_engine(tiny_spec("w"), Policy::Vanilla, EngineKind::Reference);
+        let b = suite.push_with_engine(tiny_spec("w"), Policy::Vanilla, EngineKind::Batched);
+        assert_eq!(suite.jobs()[a].engine, Some(EngineKind::Reference));
+        assert_eq!(suite.jobs()[b].engine, Some(EngineKind::Batched));
+        let report = suite.run();
+        let ja = serde_json::to_string(&report.jobs[a].result).expect("serialize");
+        let jb = serde_json::to_string(&report.jobs[b].result).expect("serialize");
+        assert_eq!(ja, jb, "engine choice leaked into the measurements");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod balancer;
 pub mod cfs;
+pub mod engine;
 pub mod stats;
 pub mod system;
 pub mod task;
@@ -46,6 +47,7 @@ pub use balancer::{
     MigrationTotals, NullBalancer, TaskEpochStats,
 };
 pub use cfs::CfsRunQueue;
+pub use engine::{BatchedEngine, EngineKind, ReferenceEngine, SliceEngine};
 pub use stats::{CoreStats, SystemStats};
 pub use system::{System, SystemConfig};
 pub use task::{Task, TaskId, TaskState};

@@ -24,6 +24,7 @@ use crate::balancer::{
     MigrationTotals, TaskEpochStats,
 };
 use crate::cfs::CfsRunQueue;
+use crate::engine::{EngineKind, SliceEngine};
 use crate::stats::SystemStats;
 use crate::task::{Task, TaskId, TaskState};
 use crate::trace::{TraceEvent, TraceLevel, Tracer};
@@ -42,6 +43,10 @@ pub struct SystemConfig {
     pub migration_cost_ns: u64,
     /// Activity factor billed while a migrated thread refills caches.
     pub migration_activity: f64,
+    /// Which slice-execution backend drives the per-core scheduling
+    /// loop (defaults to [`EngineKind::Reference`]; both backends are
+    /// bit-identical, see `crate::engine`).
+    pub engine: EngineKind,
 }
 
 impl SystemConfig {
@@ -58,21 +63,22 @@ impl Default for SystemConfig {
             epoch_periods: 10,
             migration_cost_ns: 50_000,
             migration_activity: 0.3,
+            engine: EngineKind::default(),
         }
     }
 }
 
 /// Smallest slice the scheduler will dispatch, ns; bounds the event
 /// loop's work per period.
-const SLICE_FLOOR_NS: u64 = 10_000;
+pub(crate) const SLICE_FLOOR_NS: u64 = 10_000;
 
 /// Per-core accounting accumulated within the current epoch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-struct CoreEpochAccum {
-    counters: CounterSample,
-    busy_ns: u64,
-    sleep_ns: u64,
-    energy_j: f64,
+pub(crate) struct CoreEpochAccum {
+    pub(crate) counters: CounterSample,
+    pub(crate) busy_ns: u64,
+    pub(crate) sleep_ns: u64,
+    pub(crate) energy_j: f64,
 }
 
 /// Probabilistic failure of the migration apply path (the simulator's
@@ -126,31 +132,36 @@ impl MigrationFaultModel {
 /// ```
 #[derive(Debug)]
 pub struct System {
-    platform: Platform,
-    config: SystemConfig,
-    tasks: Vec<Task>,
-    queues: Vec<CfsRunQueue>,
-    meter: EnergyMeter,
-    sensors: SensorBank,
+    pub(crate) platform: Platform,
+    pub(crate) config: SystemConfig,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) queues: Vec<CfsRunQueue>,
+    pub(crate) meter: EnergyMeter,
+    pub(crate) sensors: SensorBank,
     now_ns: u64,
     epoch_index: u64,
-    core_epoch: Vec<CoreEpochAccum>,
+    pub(crate) core_epoch: Vec<CoreEpochAccum>,
     total_migrations: u64,
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Memoized pipeline-model evaluations for the dispatch hot path.
-    estimates: EstimateCache,
+    pub(crate) estimates: EstimateCache,
     /// Per-core-type DVFS generation counter; part of every cache key,
     /// bumped by [`System::set_operating_point`] so an operating-point
     /// change can never serve a stale estimate.
-    dvfs_level: Vec<u32>,
+    pub(crate) dvfs_level: Vec<u32>,
     /// Per-core min-heap of pending `(wake_at_ns, task)` events, with
     /// lazy deletion: migration and re-sleep leave stale entries that
     /// are dropped when popped. Replaces the O(tasks) scan the idle
     /// path and slice bounding used to perform per slice.
-    wake_heaps: Vec<BinaryHeap<Reverse<(u64, TaskId)>>>,
+    pub(crate) wake_heaps: Vec<BinaryHeap<Reverse<(u64, TaskId)>>>,
     /// Scheduling slices dispatched since boot (hot-loop throughput
     /// denominator for the perf harness).
-    total_slices: u64,
+    pub(crate) total_slices: u64,
+    /// The instantiated slice-execution backend, lazily created from
+    /// `config.engine` on the first period (`None` after construction
+    /// or an engine switch so stale engine-local state can never
+    /// survive a [`System::set_engine`] call).
+    engine: Option<Box<dyn SliceEngine>>,
     /// Per-core hotplug state; offline cores schedule nothing and draw
     /// no power.
     core_online: Vec<bool>,
@@ -210,6 +221,7 @@ impl System {
             dvfs_level: vec![0; q],
             wake_heaps: vec![BinaryHeap::new(); n],
             total_slices: 0,
+            engine: None,
             core_online: vec![true; n],
             core_duty: vec![1.0; n],
             faults: None,
@@ -381,20 +393,41 @@ impl System {
     pub fn run_period(&mut self) {
         let period = self.config.period_ns;
         let start = self.now_ns;
+        // Take the engine out of `self` for the duration of the period
+        // so it can borrow the system mutably alongside its own state.
+        let mut engine = self
+            .engine
+            .take()
+            .unwrap_or_else(|| self.config.engine.instantiate());
         for j in 0..self.platform.num_cores() {
             if !self.core_online[j] {
                 continue;
             }
             let duty = self.core_duty[j];
             if duty >= 1.0 {
-                self.simulate_core_period(CoreId(j), start, start + period);
+                engine.run_core_period(self, CoreId(j), start, start + period);
             } else {
                 let active_ns = ((period as f64 * duty).round() as u64).clamp(1, period);
-                self.simulate_core_period(CoreId(j), start, start + active_ns);
+                engine.run_core_period(self, CoreId(j), start, start + active_ns);
                 self.account_sleep(CoreId(j), period - active_ns);
             }
         }
+        self.engine = Some(engine);
         self.now_ns = start + period;
+    }
+
+    /// Selects the slice-execution backend for all subsequent periods.
+    /// Any engine-local acceleration state is discarded, so switching
+    /// engines mid-run is always safe (both backends are bit-identical
+    /// anyway — see `crate::engine`).
+    pub fn set_engine(&mut self, kind: EngineKind) {
+        self.config.engine = kind;
+        self.engine = None;
+    }
+
+    /// The currently configured slice-execution backend.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.config.engine
     }
 
     /// Runs a full epoch (L periods), then performs the
@@ -430,7 +463,7 @@ impl System {
     // Core-local scheduling
     // ------------------------------------------------------------------
 
-    fn simulate_core_period(&mut self, core: CoreId, start_ns: u64, end_ns: u64) {
+    pub(crate) fn simulate_core_period(&mut self, core: CoreId, start_ns: u64, end_ns: u64) {
         let mut t = start_ns;
         while t < end_ns {
             self.wake_due(core, t);
@@ -469,8 +502,15 @@ impl System {
                 slice = slice.min(w - t);
             }
         }
-        slice = slice.min(end_ns - t);
-        slice.max(SLICE_FLOOR_NS.min(end_ns - t))
+        // Clamp into [min(SLICE_FLOOR_NS, remaining), remaining]: the
+        // floor bounds the event loop's iterations per period, and
+        // capping the floor itself at the remaining time keeps the
+        // bound from overshooting the period end. The loop invariant
+        // `t < end_ns` makes `remaining >= 1`, so the returned slice is
+        // always positive — a zero-length-slice spin is impossible (and
+        // `clamp` cannot panic: its lower bound is `<=` the upper).
+        let remaining = end_ns - t;
+        slice.clamp(SLICE_FLOOR_NS.min(remaining), remaining)
     }
 
     /// Runs `tid` on `core` for at most `max_ns`; returns actual time.
@@ -615,7 +655,7 @@ impl System {
 
     /// Attributes a slice's counters/time/energy to both the task and
     /// the core (they must always agree — the estimation invariant).
-    fn charge(
+    pub(crate) fn charge(
         &mut self,
         core: CoreId,
         tid: TaskId,
@@ -637,7 +677,7 @@ impl System {
         self.sensors.record(core, counters, energy_j, duration_ns);
     }
 
-    fn account_sleep(&mut self, core: CoreId, duration_ns: u64) {
+    pub(crate) fn account_sleep(&mut self, core: CoreId, duration_ns: u64) {
         let cfg = self.platform.core_config(core);
         let cycles = (duration_ns as f64 * 1e-9 * cfg.freq_hz).round() as u64;
         let counters = CounterSample {
@@ -664,7 +704,7 @@ impl System {
             && matches!(task.state, TaskState::Sleeping { wake_at_ns } if wake_at_ns == wake_ns)
     }
 
-    fn wake_due(&mut self, core: CoreId, t: u64) {
+    pub(crate) fn wake_due(&mut self, core: CoreId, t: u64) {
         while let Some(&Reverse((wake_ns, tid))) = self.wake_heaps[core.0].peek() {
             if wake_ns > t {
                 break;
@@ -686,7 +726,7 @@ impl System {
         }
     }
 
-    fn next_wake_ns(&mut self, core: CoreId) -> Option<u64> {
+    pub(crate) fn next_wake_ns(&mut self, core: CoreId) -> Option<u64> {
         while let Some(&Reverse((wake_ns, tid))) = self.wake_heaps[core.0].peek() {
             if self.wake_entry_valid(core, wake_ns, tid) {
                 return Some(wake_ns);
@@ -1595,5 +1635,76 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn slice_bound_stays_positive_and_within_the_period() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.spawn_on(cpu_profile(1_000_000_000), CoreId(0));
+        let t = 0;
+        for remaining in [
+            1,
+            2,
+            SLICE_FLOOR_NS - 1,
+            SLICE_FLOOR_NS,
+            SLICE_FLOOR_NS + 1,
+            6_000_000,
+        ] {
+            let bound = sys.slice_bound(CoreId(0), tid, t, t + remaining, None);
+            assert!(bound >= 1, "zero-length slice at remaining={remaining}");
+            assert!(bound <= remaining, "overshoot at remaining={remaining}");
+            if remaining <= SLICE_FLOOR_NS {
+                // Below the floor the only legal slice is the remainder
+                // itself: the floor is capped at `remaining`.
+                assert_eq!(bound, remaining);
+            } else {
+                assert!(bound >= SLICE_FLOOR_NS, "floor violated at {remaining}");
+            }
+        }
+    }
+
+    #[test]
+    fn imminent_wake_cannot_drag_the_slice_below_the_floor() {
+        let mut sys = System::new(Platform::quad_heterogeneous(), SystemConfig::default());
+        let tid = sys.spawn_on(cpu_profile(1_000_000_000), CoreId(0));
+        let (t, end_ns) = (0, 6_000_000);
+        // A wake-up 1 ns away shrinks the requested slice to 1 ns, but
+        // the floor wins: serving wake-ups promptly never buys a
+        // degenerate slice.
+        let bound = sys.slice_bound(CoreId(0), tid, t, end_ns, Some(t + 1));
+        assert_eq!(bound, SLICE_FLOOR_NS);
+        // A wake-up past the floor trims the slice to exactly the wake.
+        let wake = t + SLICE_FLOOR_NS + 5;
+        let bound = sys.slice_bound(CoreId(0), tid, t, end_ns, Some(wake));
+        assert_eq!(bound, wake - t);
+        // ... unless the period ends first.
+        let bound = sys.slice_bound(CoreId(0), tid, t, SLICE_FLOOR_NS + 2, Some(wake));
+        assert_eq!(bound, SLICE_FLOOR_NS + 2);
+    }
+
+    #[test]
+    fn sub_floor_periods_make_forward_progress() {
+        // Regression: with `period_ns < SLICE_FLOOR_NS` every slice of
+        // every period has `remaining < SLICE_FLOOR_NS`, so a floor that
+        // is not capped at the remaining time would either overshoot the
+        // period end or (if clamped to zero) spin forever.
+        let cfg = SystemConfig {
+            period_ns: 5_000,
+            epoch_periods: 4,
+            ..SystemConfig::default()
+        };
+        let mut sys = System::new(Platform::quad_heterogeneous(), cfg);
+        sys.spawn_on(
+            cpu_profile(40_000_000).with_sleep(SleepPattern::new(500_000, 700_000)),
+            CoreId(0),
+        );
+        sys.spawn_on(cpu_profile(40_000_000), CoreId(1));
+        let mut nb = NullBalancer;
+        for _ in 0..5 {
+            sys.run_epoch(&mut nb);
+        }
+        assert_eq!(sys.now_ns(), 5 * cfg.epoch_ns());
+        assert!(sys.total_slices() > 0);
+        assert!(sys.sensors().total_instructions() > 0);
     }
 }

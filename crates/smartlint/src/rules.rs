@@ -794,4 +794,29 @@ mod tests {
         assert!(analyze_source("crates/bench/src/bin/run.rs", src).is_empty());
         assert!(!analyze_source("crates/kernelsim/src/system.rs", src).is_empty());
     }
+
+    #[test]
+    fn slice_engine_module_is_inside_the_determinism_scope() {
+        // The batched slice engine replays memoized state straight into
+        // epoch reports, so both determinism rules must cover its file —
+        // a scope regression here would let nondeterminism into the
+        // engine-parity contract unseen.
+        let path = "crates/kernelsim/src/engine.rs";
+        assert!(d1_applies(path), "engine.rs must be in D1 scope");
+        assert!(d2_applies(path), "engine.rs must be in D2 scope");
+
+        let unordered = "use std::collections::HashMap;\npub fn sum(templates: HashMap<u64, u64>) -> u64 {\n    let mut s = 0;\n    for v in templates.values() { s += v; }\n    s\n}\n";
+        let f = analyze_source(path, unordered);
+        assert!(
+            f.iter().any(|x| x.rule == "D1"),
+            "unordered template iteration must fire D1 in engine.rs: {f:?}"
+        );
+
+        let clocky = "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n";
+        let f = analyze_source(path, clocky);
+        assert!(
+            f.iter().any(|x| x.rule == "D2"),
+            "wall-clock reads must fire D2 in engine.rs: {f:?}"
+        );
+    }
 }

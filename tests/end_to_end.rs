@@ -91,7 +91,7 @@ fn energy_accounting_is_consistent() {
 
 #[test]
 fn throughput_goal_finishes_faster_than_energy_goal() {
-    use smartbalance::{run_experiment, Goal, SmartBalance, SmartBalanceConfig};
+    use smartbalance::{run_experiment_with, Goal, RunOptions, SmartBalance, SmartBalanceConfig};
     let spec = mixed_spec(Platform::quad_heterogeneous(), 0.2, 2);
     let mut results = Vec::new();
     for goal in [Goal::Throughput, Goal::EnergyEfficiency] {
@@ -100,7 +100,7 @@ fn throughput_goal_finishes_faster_than_energy_goal() {
             ..SmartBalanceConfig::default()
         };
         let mut policy = SmartBalance::with_config(&spec.platform, cfg);
-        results.push(run_experiment(&spec, &mut policy));
+        results.push(run_experiment_with(&spec, &mut policy, RunOptions::new()).result);
     }
     assert!(
         results[0].stats.elapsed_ns <= results[1].stats.elapsed_ns,

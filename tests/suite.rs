@@ -4,7 +4,9 @@
 //! delivering a real wall-clock speedup on multicore hosts.
 
 use archsim::Platform;
-use smartbalance::{run_experiment, ExperimentSpec, ExperimentSuite, Policy, SmartBalanceConfig};
+use smartbalance::{
+    run_experiment_with, ExperimentSpec, ExperimentSuite, Policy, RunOptions, SmartBalanceConfig,
+};
 use workloads::{ImbConfig, Level};
 
 /// A small but non-trivial spec: two IMB profiles on the big.LITTLE
@@ -64,7 +66,7 @@ fn parallel_suite_matches_serial_run_experiment() {
     // building the balancer exactly as the suite did.
     for (parallel, job) in report.jobs.iter().zip(suite.jobs()) {
         let mut balancer = job.build_balancer();
-        let serial = run_experiment(&job.spec, balancer.as_mut());
+        let serial = run_experiment_with(&job.spec, balancer.as_mut(), RunOptions::new()).result;
         assert_eq!(
             serde_json::to_string(&serial).expect("serialize"),
             serde_json::to_string(&parallel.result).expect("serialize"),
