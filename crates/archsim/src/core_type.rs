@@ -376,6 +376,42 @@ impl Platform {
         Platform::new(types, gamma)
     }
 
+    /// A server-scale platform of `clusters` contiguous homogeneous
+    /// clusters with `cores_per_cluster` cores each; cluster `c` uses
+    /// Table 2 core type `c % 4`. This is the clustered variant of
+    /// [`Platform::scaled_heterogeneous`] for the 256–4096-core
+    /// regime: contiguous same-type runs give the hierarchical
+    /// balancer real migration domains instead of the per-core type
+    /// cycling of the flat scaling platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero, `cores_per_cluster`
+    /// exceeds 64 (per-cluster affinity masks are 64-bit), or the
+    /// total exceeds 4096 cores.
+    pub fn clustered_heterogeneous(clusters: usize, cores_per_cluster: usize) -> Self {
+        assert!(clusters > 0, "platform needs at least one cluster");
+        assert!(cores_per_cluster > 0, "clusters need at least one core");
+        assert!(
+            cores_per_cluster <= 64,
+            "cluster-local affinity masks are 64-bit: at most 64 cores per cluster"
+        );
+        assert!(
+            clusters * cores_per_cluster <= 4096,
+            "supported scale tops out at 4096 cores"
+        );
+        let types = vec![
+            CoreConfig::huge(),
+            CoreConfig::big(),
+            CoreConfig::medium(),
+            CoreConfig::small(),
+        ];
+        let gamma = (0..clusters * cores_per_cluster)
+            .map(|j| CoreTypeId((j / cores_per_cluster) % 4))
+            .collect();
+        Platform::new(types, gamma)
+    }
+
     /// Number of physical cores `n`.
     pub fn num_cores(&self) -> usize {
         self.gamma.len()
@@ -520,6 +556,32 @@ mod tests {
         assert_eq!(p.core_type(CoreId(0)), CoreTypeId(0));
         assert_eq!(p.core_type(CoreId(5)), CoreTypeId(1));
         assert_eq!(p.core_type(CoreId(9)), CoreTypeId(1));
+    }
+
+    #[test]
+    fn clustered_platform_has_contiguous_homogeneous_runs() {
+        let p = Platform::clustered_heterogeneous(6, 8);
+        assert_eq!(p.num_cores(), 48);
+        assert_eq!(p.num_types(), 4);
+        for c in 0..6 {
+            let first = CoreId(c * 8);
+            assert_eq!(p.core_type(first), CoreTypeId(c % 4));
+            for j in 1..8 {
+                assert_eq!(p.core_type(CoreId(c * 8 + j)), p.core_type(first));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 cores per cluster")]
+    fn oversized_cluster_rejected() {
+        Platform::clustered_heterogeneous(2, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "4096")]
+    fn oversized_platform_rejected() {
+        Platform::clustered_heterogeneous(100, 64);
     }
 
     #[test]

@@ -23,7 +23,25 @@ use crate::degrade::{predict_free_greedy, DegradeController, DegradeMode, EpochH
 use crate::estimate::build_matrices;
 use crate::objective::Objective;
 use crate::predict::PredictorSet;
-use crate::sense::{SenseHealth, Sensor};
+use crate::sense::{SenseHealth, Sensor, ThreadSense};
+
+/// Outcome of the shared per-epoch preamble (audit, thermal step,
+/// sensing, degradation ladder, affinity constriction): either the
+/// epoch is already settled, or the optimizer should run on the sensed
+/// threads. Shared between the flat annealer and the sharded balancer
+/// so both walk an identical sense/degrade path.
+pub(crate) enum PreambleOutcome {
+    /// Nothing left for the optimizer: an idle epoch (`None`) or a
+    /// degraded-mode fallback that already produced the allocation.
+    Skip(Option<Allocation>),
+    /// Full-capability epoch: optimize these sensed threads.
+    Proceed {
+        /// Sensed, constriction-adjusted per-thread rows.
+        senses: Vec<ThreadSense>,
+        /// Per-core availability (`online[j]`), from the epoch report.
+        online: Vec<bool>,
+    },
+}
 
 /// The SmartBalance policy.
 ///
@@ -170,18 +188,67 @@ impl SmartBalance {
     pub fn sense_health(&self) -> SenseHealth {
         self.sensor.health()
     }
-}
 
-impl LoadBalancer for SmartBalance {
-    fn name(&self) -> &str {
-        "smartbalance"
+    /// The attached telemetry hub, if any.
+    pub(crate) fn telemetry_handle(&self) -> Option<&TelemetryHandle> {
+        self.telemetry.as_ref()
     }
 
-    fn attach_telemetry(&mut self, handle: &TelemetryHandle) {
+    /// Attaches the telemetry hub (shared with wrapping balancers).
+    pub(crate) fn set_telemetry_handle(&mut self, handle: &TelemetryHandle) {
         self.telemetry = Some(handle.clone());
     }
 
-    fn rebalance(&mut self, platform: &Platform, report: &EpochReport) -> Option<Allocation> {
+    /// Whether `task`'s predictions are currently quarantined.
+    pub(crate) fn is_quarantined(&self, task: kernelsim::TaskId) -> bool {
+        self.quarantine.is_quarantined(task)
+    }
+
+    /// Publishes the diagnostics of the pass that just ran.
+    pub(crate) fn set_last_outcome(&mut self, outcome: Option<AnnealOutcome>) {
+        self.last_outcome = outcome;
+    }
+
+    /// This epoch's annealer seed; advances the internal LCG so
+    /// successive epochs explore differently (deterministically across
+    /// runs).
+    pub(crate) fn next_epoch_seed(&mut self) -> u32 {
+        let seed = self.seed;
+        self.seed = self
+            .seed
+            .wrapping_mul(0x0019_660D)
+            .wrapping_add(0x3C6E_F35F);
+        seed
+    }
+
+    /// The per-core objective weights `ω_j` in effect this epoch:
+    /// explicit `core_weights` win, else thermal derating when the
+    /// tracker is enabled, else `None` (all ones).
+    pub(crate) fn effective_core_weights(&self, platform: &Platform) -> Option<Vec<f64>> {
+        if let Some(w) = &self.config.core_weights {
+            return Some(w.clone());
+        }
+        if let (Some(thermal), Some(tc)) = (&self.thermal, self.config.thermal) {
+            // Thermal ω derating: steer work away from hot cores.
+            return Some(
+                platform
+                    .cores()
+                    .map(|c| tc.weight_for(thermal.temperature_c(c)))
+                    .collect(),
+            );
+        }
+        None
+    }
+
+    /// The shared front half of every rebalance pass: prediction audit,
+    /// thermal step, sensing, quarantine/degradation bookkeeping and
+    /// affinity-mask constriction — everything up to (but excluding)
+    /// the optimizer itself. See [`PreambleOutcome`].
+    pub(crate) fn preamble(
+        &mut self,
+        platform: &Platform,
+        report: &EpochReport,
+    ) -> PreambleOutcome {
         self.epochs_balanced += 1;
 
         // --- Prediction audit: settle last epoch's forecasts against
@@ -209,7 +276,7 @@ impl LoadBalancer for SmartBalance {
         }
         if senses.is_empty() {
             self.last_outcome = None;
-            return None;
+            return PreambleOutcome::Skip(None);
         }
 
         // --- Degradation ladder: distrust what failed --------------------
@@ -257,13 +324,13 @@ impl LoadBalancer for SmartBalance {
                 // heterogeneity-blind load-equalizing spread, which only
                 // needs run-queue weights.
                 self.last_outcome = None;
-                return self.fallback.rebalance(platform, report);
+                return PreambleOutcome::Skip(self.fallback.rebalance(platform, report));
             }
             DegradeMode::PredictFree => {
                 // Predictions are distrusted but measurements are not:
                 // greedy IPS/Watt packing on static core efficiency.
                 self.last_outcome = None;
-                return predict_free_greedy(platform, &senses, &online);
+                return PreambleOutcome::Skip(predict_free_greedy(platform, &senses, &online));
             }
             DegradeMode::Full => {}
         }
@@ -292,8 +359,14 @@ impl LoadBalancer for SmartBalance {
             }
         }
 
+        PreambleOutcome::Proceed { senses, online }
+    }
+
+    /// The flat (single-domain) back half: build the dense matrices,
+    /// run Algorithm 1 over all cores at once and emit the diff.
+    fn flat_balance(&mut self, platform: &Platform, senses: &[ThreadSense]) -> Option<Allocation> {
         // --- Estimate & predict: S(k), P(k) ----------------------------
-        let matrices = build_matrices(platform, &senses, &self.predictors);
+        let matrices = build_matrices(platform, senses, &self.predictors);
 
         // --- Balance: Algorithm 1 from the current allocation ----------
         let initial: Vec<usize> = senses.iter().map(|s| s.core.0).collect();
@@ -302,23 +375,11 @@ impl LoadBalancer for SmartBalance {
             .anneal
             .unwrap_or_else(|| AnnealParams::scaled_for(platform.num_cores(), senses.len()));
         let mut objective = Objective::new(&matrices, self.config.goal);
-        if let Some(w) = &self.config.core_weights {
-            objective = objective.with_weights(w.clone());
-        } else if let (Some(thermal), Some(tc)) = (&self.thermal, self.config.thermal) {
-            // Thermal ω derating: steer work away from hot cores.
-            let weights: Vec<f64> = platform
-                .cores()
-                .map(|c| tc.weight_for(thermal.temperature_c(c)))
-                .collect();
+        if let Some(weights) = self.effective_core_weights(platform) {
             objective = objective.with_weights(weights);
         }
-        let outcome = anneal(&objective, &initial, params, self.seed);
-        // Advance the seed so successive epochs explore differently
-        // (deterministically across runs).
-        self.seed = self
-            .seed
-            .wrapping_mul(0x0019_660D)
-            .wrapping_add(0x3C6E_F35F);
+        let seed = self.next_epoch_seed();
+        let outcome = anneal(&objective, &initial, params, seed);
 
         let mut alloc = Allocation::new();
         for (sense, (&new_core, &old_core)) in senses
@@ -355,6 +416,23 @@ impl LoadBalancer for SmartBalance {
             None
         } else {
             Some(alloc)
+        }
+    }
+}
+
+impl LoadBalancer for SmartBalance {
+    fn name(&self) -> &str {
+        "smartbalance"
+    }
+
+    fn attach_telemetry(&mut self, handle: &TelemetryHandle) {
+        self.telemetry = Some(handle.clone());
+    }
+
+    fn rebalance(&mut self, platform: &Platform, report: &EpochReport) -> Option<Allocation> {
+        match self.preamble(platform, report) {
+            PreambleOutcome::Skip(alloc) => alloc,
+            PreambleOutcome::Proceed { senses, .. } => self.flat_balance(platform, &senses),
         }
     }
 }

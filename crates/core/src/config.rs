@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use crate::anneal::AnnealParams;
 use crate::degrade::DegradeConfig;
 use crate::objective::Goal;
+use crate::shard::ShardConfig;
 
 /// Thermal-awareness settings: derate hot cores' objective weights ω_j
 /// so the balancer steers work away before a thermal limit is hit —
@@ -95,6 +96,11 @@ pub struct SmartBalanceConfig {
     pub sensor_seed: Option<u64>,
     /// Graceful-degradation ladder and prediction-quarantine tuning.
     pub degrade: DegradeConfig,
+    /// Hierarchical sharding: `Some(..)` selects the cluster-sharded
+    /// balancer ([`crate::balance::ShardedBalancer`]); `None` (the
+    /// default) keeps the flat annealer, bit-identical to before the
+    /// knob existed.
+    pub shard: Option<ShardConfig>,
 }
 
 impl Default for SmartBalanceConfig {
@@ -113,6 +119,7 @@ impl Default for SmartBalanceConfig {
             anneal_seed: None,
             sensor_seed: None,
             degrade: DegradeConfig::default(),
+            shard: None,
         }
     }
 }

@@ -3,12 +3,92 @@
 //! the full `S(k)` / `P(k)` characterization matrices the optimizer
 //! consumes (paper Section 4.2, Fig. 2 steps 2–3).
 
-use archsim::Platform;
+use archsim::{CoreTypeId, Platform};
 use mcpat::CorePowerModel;
 
 use crate::matrices::CharacterizationMatrices;
 use crate::predict::PredictorSet;
 use crate::sense::ThreadSense;
+
+/// One thread's characterization row in compact per-core-**type** form:
+/// `(ips, power, measured)` per type rather than per core. Both
+/// measurement and prediction depend only on the destination core's
+/// type (same type ⇒ same micro-architecture and operating point), so
+/// this `m × q` representation carries exactly the information of the
+/// dense `m × n` matrices at a fraction of the memory — the form the
+/// sharded balancer uses to stay sublinear on 256–4096-core platforms.
+/// [`build_matrices`] expands the same rows densely, so flat and
+/// sharded paths share one source of numeric truth.
+#[derive(Debug, Clone)]
+pub struct TypeRates {
+    /// `(ips, power_w, measured)` per core type, indexed by
+    /// [`CoreTypeId`].
+    cols: Vec<(f64, f64, bool)>,
+}
+
+impl TypeRates {
+    /// Builds the per-type row for one sensed thread: the current
+    /// core's type carries the *measured* values when the sample is
+    /// fresh and sane, every other type the Θ/α predictions of
+    /// Eq. 8–9 (with the same non-finite fallbacks as
+    /// [`build_matrices`] has always applied).
+    pub fn build(platform: &Platform, sense: &ThreadSense, predictors: &PredictorSet) -> Self {
+        let src_type = platform.core_type(sense.core);
+        // Non-finite or non-positive measurements (corrupt sensors that
+        // slipped past the sensing stage) fall back to prediction.
+        let has_measurement = sense.fresh
+            && sense.measured_ips.is_finite()
+            && sense.measured_ips > 0.0
+            && sense.measured_power_w.is_finite()
+            && sense.measured_power_w > 0.0;
+        // One shared-inversion prediction row per thread (computed
+        // lazily: an all-measured thread never pays for it), then each
+        // entry is a per-type table lookup.
+        let mut ipc_row: Option<Vec<f64>> = None;
+        let cols = platform
+            .types()
+            .map(|(dst_type, cfg)| {
+                if has_measurement && dst_type == src_type {
+                    (sense.measured_ips, sense.measured_power_w.max(1e-6), true)
+                } else {
+                    let row = ipc_row.get_or_insert_with(|| {
+                        predictors.predict_ipc_by_type(&sense.features, src_type)
+                    });
+                    let ipc = row[dst_type.0];
+                    let mut ips = ipc * cfg.freq_hz;
+                    if !ips.is_finite() {
+                        // A corrupt signature can drive the regression
+                        // to NaN/Inf; a zero-throughput entry merely
+                        // makes the core look unattractive instead of
+                        // poisoning the objective arithmetic.
+                        ips = 0.0;
+                    }
+                    let mut p = predictors.predict_power_w(ipc, dst_type);
+                    if !p.is_finite() {
+                        p = 0.0;
+                    }
+                    (ips, p.max(1e-6), false)
+                }
+            })
+            .collect();
+        TypeRates { cols }
+    }
+
+    /// Throughput of the thread on a core of type `t`, instr/s.
+    pub fn ips(&self, t: CoreTypeId) -> f64 {
+        self.cols[t.0].0
+    }
+
+    /// Power of the thread on a core of type `t`, watts.
+    pub fn power_w(&self, t: CoreTypeId) -> f64 {
+        self.cols[t.0].1
+    }
+
+    /// Whether the type-`t` entry is a measurement (vs a prediction).
+    pub fn is_measured(&self, t: CoreTypeId) -> bool {
+        self.cols[t.0].2
+    }
+}
 
 /// Builds `S(k)` and `P(k)` for the given sensed threads.
 ///
@@ -45,46 +125,15 @@ pub fn build_matrices(
     let mut m = CharacterizationMatrices::new(tasks, core_types.clone(), sleep_power);
 
     for (i, sense) in senses.iter().enumerate() {
-        let src_type = platform.core_type(sense.core);
-        // Non-finite or non-positive measurements (corrupt sensors that
-        // slipped past the sensing stage) fall back to prediction.
-        let has_measurement = sense.fresh
-            && sense.measured_ips.is_finite()
-            && sense.measured_ips > 0.0
-            && sense.measured_power_w.is_finite()
-            && sense.measured_power_w > 0.0;
-        // One shared-inversion prediction row per thread (computed
-        // lazily: an all-measured thread never pays for it), then each
-        // column is a per-type table lookup.
-        let mut ipc_row: Option<Vec<f64>> = None;
+        let rates = TypeRates::build(platform, sense, predictors);
         for (j, &dst_type) in core_types.iter().enumerate() {
-            if has_measurement && dst_type == src_type {
-                m.set(
-                    i,
-                    j,
-                    sense.measured_ips,
-                    sense.measured_power_w.max(1e-6),
-                    true,
-                );
-            } else {
-                let row = ipc_row.get_or_insert_with(|| {
-                    predictors.predict_ipc_by_type(&sense.features, src_type)
-                });
-                let ipc = row[dst_type.0];
-                let mut ips = ipc * platform.type_config(dst_type).freq_hz;
-                if !ips.is_finite() {
-                    // A corrupt signature can drive the regression to
-                    // NaN/Inf; a zero-throughput entry merely makes the
-                    // core look unattractive instead of poisoning the
-                    // objective arithmetic.
-                    ips = 0.0;
-                }
-                let mut p = predictors.predict_power_w(ipc, dst_type);
-                if !p.is_finite() {
-                    p = 0.0;
-                }
-                m.set(i, j, ips, p.max(1e-6), false);
-            }
+            m.set(
+                i,
+                j,
+                rates.ips(dst_type),
+                rates.power_w(dst_type),
+                rates.is_measured(dst_type),
+            );
         }
         m.set_utilization(i, sense.utilization);
         m.set_allowed(i, sense.allowed);

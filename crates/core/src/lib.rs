@@ -82,16 +82,17 @@ pub mod optimal;
 pub mod predict;
 pub mod runner;
 pub mod sense;
+pub mod shard;
 pub mod suite;
 
 pub use anneal::{anneal, AnnealOutcome, AnnealParams};
-pub use balance::{GtsBalancer, IksBalancer, SmartBalance, VanillaBalancer};
+pub use balance::{GtsBalancer, IksBalancer, ShardedBalancer, SmartBalance, VanillaBalancer};
 pub use config::{SmartBalanceConfig, ThermalConfig};
 pub use degrade::{
     predict_free_greedy, DegradeConfig, DegradeController, DegradeMode, EpochHealth,
     QuarantineTracker,
 };
-pub use estimate::build_matrices;
+pub use estimate::{build_matrices, TypeRates};
 pub use matrices::CharacterizationMatrices;
 pub use objective::{Goal, Objective};
 pub use optimal::{exhaustive_best, known_optimum_case, KnownCase};
@@ -103,6 +104,7 @@ pub use runner::{
 #[allow(deprecated)]
 pub use runner::{run_experiment, run_experiment_instrumented, run_experiment_traced};
 pub use sense::{SenseHealth, Sensor, ThreadSense, FEATURE_NAMES, NUM_FEATURES};
+pub use shard::ShardConfig;
 pub use suite::{
     parallel_indexed, EfficiencyGain, ExperimentSuite, JobResult, SuiteJob, SuiteProgress,
     SuiteReport,

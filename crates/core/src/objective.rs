@@ -28,6 +28,63 @@ use crate::matrices::CharacterizationMatrices;
 /// Scale factor turning instr/s per watt into GIPS/W.
 const GIPS: f64 = 1.0e9;
 
+/// Effective (post-time-sharing) throughput and power of one core given
+/// its demand/rate sums — the free-function form of the per-core model
+/// in the module docs, shared by [`Objective`] and the sharded
+/// balancer's cross-cluster exchange state so both evaluate identical
+/// arithmetic. An empty core (`u_sum <= 0`) sleeps.
+pub fn effective_core_terms(
+    u_sum: f64,
+    ips_sum: f64,
+    pow_sum: f64,
+    sleep_power_w: f64,
+) -> (f64, f64) {
+    if u_sum <= 0.0 {
+        return (0.0, sleep_power_w);
+    }
+    let busy = u_sum.min(1.0);
+    let scale = busy / u_sum;
+    let ips = ips_sum * scale;
+    let power = pow_sum * scale + (1.0 - busy) * sleep_power_w;
+    (ips, power)
+}
+
+/// One core's weighted contribution to the goal aggregates:
+/// `(ω·IPS, ω·P, ω·(IPS/P)/GIPS)`; the ratio term is 0 for an idle or
+/// powerless core.
+pub fn weighted_aggregates(weight: f64, (ips, p): (f64, f64)) -> (f64, f64, f64) {
+    let ratio = if ips <= 0.0 || p <= 0.0 {
+        0.0
+    } else {
+        weight * (ips / p) / GIPS
+    };
+    (weight * ips, weight * p, ratio)
+}
+
+/// Combines summed per-core aggregates into the scalar objective for
+/// `goal`.
+pub fn goal_total(goal: Goal, sum_ips: f64, sum_p: f64, sum_ratio: f64) -> f64 {
+    match goal {
+        Goal::EnergyEfficiency => {
+            if sum_p <= 0.0 {
+                0.0
+            } else {
+                (sum_ips / sum_p) / GIPS
+            }
+        }
+        Goal::PerCoreEfficiencySum => sum_ratio,
+        Goal::Throughput => sum_ips / GIPS,
+        Goal::MinPower => -sum_p,
+        Goal::EnergyDelayProduct => {
+            if sum_p <= 0.0 {
+                0.0
+            } else {
+                (sum_ips / GIPS) * (sum_ips / GIPS) / sum_p
+            }
+        }
+    }
+}
+
 /// Optimization goal (the paper's Eq. 11 plus the alternatives its
 /// Section 5.1 mentions can be swapped into the objective).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -118,49 +175,18 @@ impl<'a> Objective<'a> {
     /// Effective (post-time-sharing) throughput and power of core `j`
     /// given its demand/rate sums; an empty core sleeps.
     fn core_terms(&self, j: usize, u_sum: f64, ips_sum: f64, pow_sum: f64) -> (f64, f64) {
-        if u_sum <= 0.0 {
-            return (0.0, self.matrices.sleep_power_w(j));
-        }
-        let busy = u_sum.min(1.0);
-        let scale = busy / u_sum;
-        let ips = ips_sum * scale;
-        let power = pow_sum * scale + (1.0 - busy) * self.matrices.sleep_power_w(j);
-        (ips, power)
+        effective_core_terms(u_sum, ips_sum, pow_sum, self.matrices.sleep_power_w(j))
     }
 
     /// The per-core contribution of core `j` to the goal-specific
     /// aggregates: `(w·IPS, w·P, w·ratio)`.
-    fn aggregates_of(&self, j: usize, (ips, p): (f64, f64)) -> (f64, f64, f64) {
-        let w = self.weights[j];
-        let ratio = if ips <= 0.0 || p <= 0.0 {
-            0.0
-        } else {
-            w * (ips / p) / GIPS
-        };
-        (w * ips, w * p, ratio)
+    fn aggregates_of(&self, j: usize, terms: (f64, f64)) -> (f64, f64, f64) {
+        weighted_aggregates(self.weights[j], terms)
     }
 
     /// Combines goal aggregates into the scalar objective.
     fn total_from(&self, sum_ips: f64, sum_p: f64, sum_ratio: f64) -> f64 {
-        match self.goal {
-            Goal::EnergyEfficiency => {
-                if sum_p <= 0.0 {
-                    0.0
-                } else {
-                    (sum_ips / sum_p) / GIPS
-                }
-            }
-            Goal::PerCoreEfficiencySum => sum_ratio,
-            Goal::Throughput => sum_ips / GIPS,
-            Goal::MinPower => -sum_p,
-            Goal::EnergyDelayProduct => {
-                if sum_p <= 0.0 {
-                    0.0
-                } else {
-                    (sum_ips / GIPS) * (sum_ips / GIPS) / sum_p
-                }
-            }
-        }
+        goal_total(self.goal, sum_ips, sum_p, sum_ratio)
     }
 }
 

@@ -10,8 +10,9 @@ use kernelsim::{
 use serde::{Deserialize, Serialize};
 use workloads::WorkloadProfile;
 
-use crate::balance::{GtsBalancer, IksBalancer, SmartBalance, VanillaBalancer};
+use crate::balance::{GtsBalancer, IksBalancer, ShardedBalancer, SmartBalance, VanillaBalancer};
 use crate::config::SmartBalanceConfig;
+use crate::shard::ShardConfig;
 use telemetry::ObsCapture;
 
 /// Which balancing policy to run.
@@ -44,6 +45,11 @@ impl Policy {
             Policy::Gts => Box::new(GtsBalancer::new()),
             Policy::Iks => Box::new(IksBalancer::new()),
             Policy::Smart => match cfg {
+                // The shard knob selects the hierarchical balancer; its
+                // absence keeps the flat annealer bit-identical.
+                Some(cfg) if cfg.shard.is_some() => {
+                    Box::new(ShardedBalancer::with_config(platform, cfg.clone()))
+                }
                 Some(cfg) => Box::new(SmartBalance::with_config(platform, cfg.clone())),
                 None => Box::new(SmartBalance::new(platform)),
             },
@@ -105,6 +111,15 @@ impl ExperimentSpec {
     /// [`RunOptions::with_engine`] override wins over this.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.sys_config.engine = engine;
+        self
+    }
+
+    /// Enables hierarchical sharding for this spec's [`Policy::Smart`]
+    /// runs (creates a default policy config when none is set yet).
+    pub fn with_shard(mut self, shard: ShardConfig) -> Self {
+        self.policy_config
+            .get_or_insert_with(SmartBalanceConfig::default)
+            .shard = Some(shard);
         self
     }
 

@@ -42,11 +42,14 @@ use crate::config::SmartBalanceConfig;
 use crate::runner::{
     run_experiment_with, ExperimentSpec, Policy, RunOptions, RunResult, TraceCapture, TraceRequest,
 };
+use crate::shard::ShardConfig;
 use telemetry::ObsCapture;
 
 /// splitmix64: the standard 64-bit seed expander; maps a job index to
-/// an independent, well-mixed seed.
-fn splitmix64(index: u64) -> u64 {
+/// an independent, well-mixed seed. Also reused by the sharded
+/// balancer to derive per-cluster anneal seeds from the epoch seed, so
+/// shard results are worker-count-invariant by construction.
+pub fn splitmix64(index: u64) -> u64 {
     let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -72,6 +75,10 @@ pub struct SuiteJob {
     /// Slice-execution backend override for this job; `None` runs
     /// whatever the spec's `sys_config.engine` selects.
     pub engine: Option<EngineKind>,
+    /// Hierarchical-sharding override for this job; `Some(..)` makes a
+    /// [`Policy::Smart`] job run the cluster-sharded balancer
+    /// regardless of the spec's policy config.
+    pub shard: Option<ShardConfig>,
 }
 
 impl SuiteJob {
@@ -94,6 +101,13 @@ impl SuiteJob {
         self
     }
 
+    /// Enables hierarchical sharding for this job (builder style);
+    /// wins over the spec's `policy_config.shard`.
+    pub fn with_shard(mut self, shard: ShardConfig) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// The SmartBalance configuration this job actually runs with: the
     /// spec's `policy_config` (or defaults) with the job seed filled
     /// into `anneal_seed` and `sensor_seed` when the config doesn't
@@ -105,6 +119,9 @@ impl SuiteJob {
         }
         if cfg.sensor_seed.is_none() {
             cfg.sensor_seed = Some(self.seed);
+        }
+        if let Some(shard) = self.shard {
+            cfg.shard = Some(shard);
         }
         cfg
     }
@@ -303,14 +320,20 @@ impl Default for ExperimentSuite {
     }
 }
 
+/// The machine's available parallelism (≥ 1): the default worker-pool
+/// size for the suite and the sharded balancer's anneal fan-out. Pool
+/// size never affects results — only wall-clock time — so this is the
+/// one place simulation code may consult the environment.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 impl ExperimentSuite {
     /// An empty suite sized to the machine's available parallelism.
     pub fn new() -> Self {
         ExperimentSuite {
             jobs: Vec::new(),
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            workers: default_workers(),
             progress: None,
         }
     }
@@ -367,6 +390,19 @@ impl ExperimentSuite {
         index
     }
 
+    /// [`push`](Self::push) with a sharding override: the job runs the
+    /// cluster-sharded balancer under [`Policy::Smart`].
+    pub fn push_with_shard(
+        &mut self,
+        spec: ExperimentSpec,
+        policy: Policy,
+        shard: ShardConfig,
+    ) -> usize {
+        let index = self.push_job(spec, policy, None);
+        self.jobs[index].shard = Some(shard);
+        index
+    }
+
     fn push_job(
         &mut self,
         spec: ExperimentSpec,
@@ -381,6 +417,7 @@ impl ExperimentSuite {
             trace,
             observe: false,
             engine: None,
+            shard: None,
         });
         index
     }

@@ -40,6 +40,7 @@ pub mod engine;
 pub mod stats;
 pub mod system;
 pub mod task;
+pub mod topology;
 pub mod trace;
 
 pub use balancer::{
@@ -52,4 +53,5 @@ pub use stats::{CoreStats, SystemStats};
 pub use system::{System, SystemConfig};
 pub use task::{Task, TaskId, TaskState};
 pub use telemetry::TelemetryHandle;
+pub use topology::{ClusterId, Topology};
 pub use trace::{TraceEvent, TraceLevel, Tracer};

@@ -39,6 +39,9 @@ pub struct SystemStats {
     pub live_tasks: usize,
     /// Total thread migrations performed.
     pub migrations: u64,
+    /// Migrations that crossed a cluster boundary (see
+    /// [`crate::Topology`]): the expensive kind on real parts.
+    pub cross_cluster_migrations: u64,
     /// Cumulative balancer-apply accounting: requested entries,
     /// performed moves and per-reason rejections over the whole run
     /// (previously only the last epoch's `AppliedAllocation` survived).
@@ -71,6 +74,7 @@ impl SystemStats {
             completed_tasks: sys.tasks().iter().filter(|t| t.is_exited()).count(),
             live_tasks: sys.live_tasks(),
             migrations: sys.total_migrations(),
+            cross_cluster_migrations: sys.cross_cluster_migrations(),
             migration_totals: sys.migration_totals(),
             per_core,
         }

@@ -27,6 +27,7 @@ use crate::cfs::CfsRunQueue;
 use crate::engine::{EngineKind, SliceEngine};
 use crate::stats::SystemStats;
 use crate::task::{Task, TaskId, TaskState};
+use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceLevel, Tracer};
 use telemetry::TelemetryHandle;
 
@@ -142,6 +143,14 @@ pub struct System {
     epoch_index: u64,
     pub(crate) core_epoch: Vec<CoreEpochAccum>,
     total_migrations: u64,
+    /// Cluster decomposition of the platform (contiguous same-type
+    /// runs), derived once at boot. Purely descriptive: scheduling and
+    /// wake placement never read it, only migration accounting and
+    /// cluster-aware balancers do.
+    topology: Topology,
+    /// Migrations that crossed a cluster boundary (the expensive kind
+    /// on real parts: remote caches, interconnect hops).
+    cross_cluster_migrations: u64,
     pub(crate) tracer: Tracer,
     /// Memoized pipeline-model evaluations for the dispatch hot path.
     pub(crate) estimates: EstimateCache,
@@ -205,6 +214,7 @@ impl System {
         let q = platform.num_types();
         let meter = EnergyMeter::new(&platform);
         let sensors = SensorBank::new(&platform);
+        let topology = Topology::from_platform(&platform);
         System {
             platform,
             config,
@@ -216,6 +226,8 @@ impl System {
             epoch_index: 0,
             core_epoch: vec![CoreEpochAccum::default(); n],
             total_migrations: 0,
+            topology,
+            cross_cluster_migrations: 0,
             tracer: Tracer::default(),
             estimates: EstimateCache::new(),
             dvfs_level: vec![0; q],
@@ -921,6 +933,9 @@ impl System {
         task.migration_debt_ns += self.config.migration_cost_ns;
         task.migrations += 1;
         self.total_migrations += 1;
+        if !self.topology.same_domain(current, target) {
+            self.cross_cluster_migrations += 1;
+        }
         // A sleeping migrant must be woken by its *new* core; the
         // entry left on the old core's heap goes stale and is
         // lazily dropped.
@@ -1090,6 +1105,16 @@ impl System {
     /// Total migrations performed since boot.
     pub fn total_migrations(&self) -> u64 {
         self.total_migrations
+    }
+
+    /// The platform's cluster topology (derived at boot).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Migrations since boot that crossed a cluster boundary.
+    pub fn cross_cluster_migrations(&self) -> u64 {
+        self.cross_cluster_migrations
     }
 
     /// Cumulative balancer-migration accounting (every

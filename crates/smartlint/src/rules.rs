@@ -819,4 +819,34 @@ mod tests {
             "wall-clock reads must fire D2 in engine.rs: {f:?}"
         );
     }
+
+    #[test]
+    fn sharded_balancer_modules_are_inside_the_determinism_scope() {
+        // The hierarchical balancer's worker-count-invariance contract
+        // rests on these files never consulting the environment or
+        // iterating unordered maps; pin them into both rules' scope.
+        for path in [
+            "crates/kernelsim/src/topology.rs",
+            "crates/core/src/shard.rs",
+            "crates/core/src/balance/sharded.rs",
+        ] {
+            assert!(d1_applies(path), "{path} must be in D1 scope");
+            assert!(d2_applies(path), "{path} must be in D2 scope");
+        }
+
+        // `default_workers()` lives in suite.rs precisely because that
+        // file is the one sanctioned environment-consulting point; a
+        // parallelism probe anywhere in the shard path must fire D2.
+        let probing =
+            "pub fn w() -> usize { std::thread::available_parallelism().map_or(1, |n| n.get()) }\n";
+        let f = analyze_source("crates/core/src/balance/sharded.rs", probing);
+        assert!(
+            f.iter().any(|x| x.rule == "D2"),
+            "parallelism probes must fire D2 in sharded.rs: {f:?}"
+        );
+        assert!(
+            analyze_source("crates/core/src/suite.rs", probing).is_empty(),
+            "suite.rs is the sanctioned environment-consulting point"
+        );
+    }
 }

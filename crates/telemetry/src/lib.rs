@@ -158,6 +158,43 @@ impl Telemetry {
         self.registry.gauge_set("sb_anneal_objective", objective);
     }
 
+    /// Records one cluster-local annealer's outcome for the open span
+    /// (sharded balancer only; one call per non-empty cluster).
+    pub fn record_shard_anneal(
+        &mut self,
+        cluster: u64,
+        iterations: u64,
+        accepted: u64,
+        objective: f64,
+    ) {
+        self.current.shard_clusters += 1;
+        let cluster = cluster.to_string();
+        let label = [("cluster", cluster.as_str())];
+        self.registry.counter_add(
+            &labeled("sb_shard_anneal_iterations_total", &label),
+            iterations,
+        );
+        self.registry
+            .counter_add(&labeled("sb_shard_anneal_accepted_total", &label), accepted);
+        self.registry
+            .gauge_set(&labeled("sb_shard_anneal_objective", &label), objective);
+    }
+
+    /// Records the sharded balancer's global exchange stage for the
+    /// open span: clusters annealed, candidate threads considered and
+    /// cross-cluster moves committed.
+    pub fn record_shard_exchange(&mut self, clusters: u64, candidates: u64, moves: u64) {
+        let c = &mut self.current;
+        c.shard_clusters = clusters;
+        c.shard_exchange_candidates = candidates;
+        c.shard_exchange_moves = moves;
+        self.registry.counter_add("sb_shard_epochs_total", 1);
+        self.registry
+            .counter_add("sb_shard_exchange_candidates_total", candidates);
+        self.registry
+            .counter_add("sb_shard_exchange_moves_total", moves);
+    }
+
     /// Stores the model's one-epoch-ahead prediction for `task`: it was
     /// placed on `core` and is expected to run at `ips` / `power_w`.
     /// Overwrites any unresolved prediction for the same task.

@@ -62,6 +62,13 @@ pub struct EpochObs {
     /// Objective of the returned allocation.
     pub anneal_objective: f64,
 
+    /// Clusters annealed this epoch (0 under the flat balancer).
+    pub shard_clusters: u64,
+    /// Cross-cluster exchange candidates considered this epoch.
+    pub shard_exchange_candidates: u64,
+    /// Cross-cluster exchange moves committed this epoch.
+    pub shard_exchange_moves: u64,
+
     /// Predicted-vs-realized samples resolved this epoch.
     pub audit_samples: u64,
     /// Mean |relative IPS prediction error| over this epoch's samples.

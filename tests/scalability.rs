@@ -3,7 +3,9 @@
 
 use archsim::Platform;
 use kernelsim::{System, SystemConfig};
-use smartbalance::{anneal, known_optimum_case, AnnealParams, Goal, Objective, SmartBalance};
+use smartbalance::{
+    anneal, known_optimum_case, AnnealParams, Goal, Objective, ShardedBalancer, SmartBalance,
+};
 use workloads::SyntheticGenerator;
 
 #[test]
@@ -19,13 +21,42 @@ fn thirty_two_core_platform_runs_end_to_end() {
         sys.run_epoch(&mut policy);
     }
     // Every live task sits on a valid core; accounting still balances.
+    let cores = platform.num_cores();
     for t in sys.tasks() {
-        assert!(t.core().0 < 32);
+        assert!(t.core().0 < cores);
     }
     let stats = sys.stats();
     let per_core: u64 = stats.per_core.iter().map(|c| c.instructions).sum();
     assert_eq!(per_core, stats.total_instructions);
     assert!(stats.total_instructions > 0);
+}
+
+#[test]
+fn clustered_256_core_platform_runs_end_to_end_sharded() {
+    // The hierarchical regime: 8 clusters × 32 cores under the
+    // cluster-sharded balancer.
+    let platform = Platform::clustered_heterogeneous(8, 32);
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    let mut gen = SyntheticGenerator::new(7);
+    for i in 0..384 {
+        sys.spawn(gen.profile(format!("t{i}"), 2, 50_000_000, i % 4 == 0));
+    }
+    let mut policy = ShardedBalancer::new(&platform);
+    for _ in 0..5 {
+        sys.run_epoch(&mut policy);
+    }
+    let cores = platform.num_cores();
+    assert_eq!(cores, 256);
+    for t in sys.tasks() {
+        assert!(t.core().0 < cores);
+    }
+    let stats = sys.stats();
+    let per_core: u64 = stats.per_core.iter().map(|c| c.instructions).sum();
+    assert_eq!(per_core, stats.total_instructions);
+    assert!(stats.total_instructions > 0);
+    // The sharded balancer must actually exchange across clusters on a
+    // mixed synthetic workload.
+    assert!(stats.migrations > 0);
 }
 
 #[test]

@@ -1,0 +1,177 @@
+//! Parity and determinism contracts for the hierarchical sharded
+//! balancer:
+//!
+//! * with sharding off, the [`Policy::Smart`] path stays bit-identical
+//!   to the flat `SmartBalance` oracle;
+//! * with sharding on, the policy dispatch is bit-identical to a
+//!   directly-constructed [`ShardedBalancer`];
+//! * offline (hotplugged) cores are honored inside every cluster
+//!   shard — no placement ever targets them;
+//! * shard worker count (1 vs N) never changes results.
+
+use archsim::{CoreId, Platform};
+use kernelsim::{EpochReport, LoadBalancer, System, SystemConfig};
+use smartbalance::{
+    ExperimentSpec, ExperimentSuite, Policy, ShardConfig, ShardedBalancer, SmartBalance,
+    SmartBalanceConfig,
+};
+use workloads::{SyntheticGenerator, WorkloadProfile};
+
+/// Serialized fingerprint of one epoch — string equality implies bit
+/// equality of every field the report carries.
+fn fingerprint(report: &EpochReport) -> String {
+    serde_json::to_string(report).expect("epoch report serializes")
+}
+
+fn mixed_profiles(count: usize, seed: u64, budget: u64) -> Vec<WorkloadProfile> {
+    let mut gen = SyntheticGenerator::new(seed);
+    (0..count)
+        .map(|i| gen.profile(format!("t{i}"), 2, budget, i % 3 == 0))
+        .collect()
+}
+
+fn spawn_all(sys: &mut System, profiles: &[WorkloadProfile]) {
+    for p in profiles {
+        sys.spawn(p.clone());
+    }
+}
+
+/// Runs `epochs` epochs of the same workload under `balancer` and
+/// returns (per-epoch fingerprints, final-stats fingerprint, energy
+/// bits).
+fn run_fingerprinted(
+    platform: &Platform,
+    profiles: &[WorkloadProfile],
+    balancer: &mut dyn LoadBalancer,
+    epochs: usize,
+) -> (Vec<String>, String, u64) {
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    spawn_all(&mut sys, profiles);
+    let mut prints = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        prints.push(fingerprint(&sys.run_epoch(balancer)));
+    }
+    let stats = sys.stats();
+    let energy_bits = stats.total_energy_j.to_bits();
+    let stats_print = serde_json::to_string(&stats).expect("stats serialize");
+    (prints, stats_print, energy_bits)
+}
+
+#[test]
+fn sharding_off_is_bit_identical_to_the_flat_oracle() {
+    // `shard: None` must leave the Policy::Smart path exactly the flat
+    // balancer — same epoch reports, same stats, same energy bits.
+    let platform = Platform::clustered_heterogeneous(4, 8);
+    let profiles = mixed_profiles(48, 11, 400_000_000);
+
+    let cfg = SmartBalanceConfig::default();
+    assert!(cfg.shard.is_none(), "default config must not shard");
+    let mut via_policy = Policy::Smart.build(&platform, Some(&cfg));
+    let mut oracle = SmartBalance::with_config(&platform, cfg.clone());
+
+    let a = run_fingerprinted(&platform, &profiles, via_policy.as_mut(), 10);
+    let b = run_fingerprinted(&platform, &profiles, &mut oracle, 10);
+    assert_eq!(a.0, b.0, "per-epoch reports diverged from the flat oracle");
+    assert_eq!(a.1, b.1, "final stats diverged from the flat oracle");
+    assert_eq!(a.2, b.2, "energy bits diverged from the flat oracle");
+}
+
+#[test]
+fn sharding_on_policy_dispatch_matches_direct_construction() {
+    let platform = Platform::clustered_heterogeneous(4, 8);
+    let profiles = mixed_profiles(48, 13, 400_000_000);
+
+    let cfg = SmartBalanceConfig {
+        shard: Some(ShardConfig::default()),
+        ..SmartBalanceConfig::default()
+    };
+    let mut via_policy = Policy::Smart.build(&platform, Some(&cfg));
+    assert_eq!(via_policy.name(), "smartbalance-sharded");
+    let mut direct = ShardedBalancer::with_config(&platform, cfg.clone());
+
+    let a = run_fingerprinted(&platform, &profiles, via_policy.as_mut(), 10);
+    let b = run_fingerprinted(&platform, &profiles, &mut direct, 10);
+    assert_eq!(a.0, b.0, "policy-built sharded run diverged from direct");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn offline_cores_are_honored_in_every_cluster_shard() {
+    // Take down one core in cluster 0, the whole of cluster 1, and one
+    // core in cluster 2: the sharded balancer must never place or
+    // migrate a task onto any of them, in any shard, on any epoch.
+    let platform = Platform::clustered_heterogeneous(4, 4);
+    let mut sys = System::new(platform.clone(), SystemConfig::default());
+    spawn_all(&mut sys, &mixed_profiles(24, 17, u64::MAX / 64));
+
+    let offline: Vec<usize> = vec![2, 4, 5, 6, 7, 9];
+    for &c in &offline {
+        sys.set_core_online(CoreId(c), false);
+    }
+
+    let mut policy = ShardedBalancer::new(&platform);
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+        for t in sys.tasks() {
+            assert!(
+                !offline.contains(&t.core().0),
+                "task placed on offline core {}",
+                t.core().0
+            );
+        }
+    }
+    // The balancer must respect the mask up front, not rely on the
+    // kernel rejecting bad migrations after the fact.
+    let stats = sys.stats();
+    assert_eq!(
+        stats.migration_totals.offline_core, 0,
+        "balancer requested migrations onto offline cores"
+    );
+
+    // Bring cluster 1 back; the shards must pick it up again.
+    for c in [4, 5, 6, 7] {
+        sys.set_core_online(CoreId(c), true);
+    }
+    for _ in 0..6 {
+        sys.run_epoch(&mut policy);
+        for t in sys.tasks() {
+            assert!(
+                t.core().0 != 2 && t.core().0 != 9,
+                "still-offline core used"
+            );
+        }
+    }
+    assert_eq!(sys.stats().migration_totals.offline_core, 0);
+}
+
+#[test]
+fn shard_worker_count_never_changes_results() {
+    // 1 shard worker vs 4 must produce byte-identical canonicalized
+    // suite reports: worker count is an execution detail, not an input.
+    let platform = Platform::clustered_heterogeneous(4, 4);
+    let spec = ExperimentSpec::new(
+        "shard-workers",
+        platform,
+        mixed_profiles(24, 19, 300_000_000),
+    )
+    .with_max_epochs(40);
+
+    let report_for = |workers: usize| {
+        let mut suite = ExperimentSuite::new().with_workers(1);
+        suite.push_with_shard(
+            spec.clone(),
+            Policy::Smart,
+            ShardConfig {
+                workers,
+                ..ShardConfig::default()
+            },
+        );
+        let report = suite.run().canonicalized();
+        serde_json::to_string(&report).expect("suite report serializes")
+    };
+
+    let one = report_for(1);
+    let four = report_for(4);
+    assert_eq!(one, four, "shard worker count changed the suite report");
+}
