@@ -525,6 +525,60 @@ mod tests {
     }
 
     #[test]
+    fn promotion_climbs_exactly_one_rung_per_streak_for_every_window() {
+        // Property sweep over the hysteresis windows: from LoadOnly, a
+        // healthy stream must spend exactly `promote_after` epochs on
+        // each rung, pass through PredictFree exactly once (never
+        // LoadOnly → Full directly), and then hold Full forever.
+        for promote_after in 1..=8u32 {
+            for demote_after in 1..=4u32 {
+                let cfg = DegradeConfig {
+                    promote_after,
+                    demote_after,
+                    ..DegradeConfig::default()
+                };
+                let mut c = DegradeController::new(cfg);
+                for _ in 0..demote_after {
+                    c.step(&mostly_blind());
+                }
+                assert_eq!(c.mode(), DegradeMode::LoadOnly);
+                let before = c.transitions();
+
+                let ladder: Vec<DegradeMode> = (0..promote_after * 2 + 16)
+                    .map(|_| c.step(&healthy()))
+                    .collect();
+                // Each step climbs at most one rank — PredictFree is
+                // never skipped on the way back up.
+                let mut prev = DegradeMode::LoadOnly.rank();
+                for mode in &ladder {
+                    assert!(
+                        mode.rank() <= prev && prev - mode.rank() <= 1,
+                        "promotion skipped a rung: {prev} -> {} (promote_after {promote_after})",
+                        mode.rank()
+                    );
+                    prev = mode.rank();
+                }
+                // Exactly promote_after epochs on each intermediate
+                // rung, then Full for the rest of the stream.
+                let on_load_only = ladder
+                    .iter()
+                    .filter(|m| **m == DegradeMode::LoadOnly)
+                    .count();
+                let on_predict_free = ladder
+                    .iter()
+                    .filter(|m| **m == DegradeMode::PredictFree)
+                    .count();
+                // promote_after - 1 epochs still LoadOnly; the
+                // promote_after-th step returns PredictFree.
+                assert_eq!(on_load_only, (promote_after - 1) as usize);
+                assert_eq!(on_predict_free, promote_after as usize);
+                assert_eq!(ladder.last(), Some(&DegradeMode::Full));
+                assert_eq!(c.transitions() - before, 2, "exactly two promotions");
+            }
+        }
+    }
+
+    #[test]
     fn flapping_health_does_not_thrash() {
         let cfg = DegradeConfig::default();
         let mut c = DegradeController::new(cfg);

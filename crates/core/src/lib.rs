@@ -101,12 +101,10 @@ pub use runner::{
     compare_policies, run_experiment_with, ExperimentSpec, Policy, RunOptions, RunOutcome,
     RunResult, TraceCapture, TraceRequest,
 };
-#[allow(deprecated)]
-pub use runner::{run_experiment, run_experiment_instrumented, run_experiment_traced};
 pub use sense::{SenseHealth, Sensor, ThreadSense, FEATURE_NAMES, NUM_FEATURES};
 pub use shard::ShardConfig;
 pub use suite::{
-    parallel_indexed, EfficiencyGain, ExperimentSuite, JobResult, SuiteJob, SuiteProgress,
-    SuiteReport,
+    default_workers, panic_message, parallel_indexed, splitmix64, EfficiencyGain, ExperimentSuite,
+    JobFailure, JobOutcome, JobResult, SuiteJob, SuiteProgress, SuiteReport,
 };
 pub use telemetry::{ObsCapture, ObsSummary, TelemetryHandle};

@@ -58,7 +58,11 @@ impl Policy {
 }
 
 /// One experiment: a platform, a set of task profiles and run limits.
-#[derive(Debug, Clone)]
+///
+/// Serializable so orchestration layers (the campaign runner) can
+/// derive content-addressed job identities from a canonical JSON
+/// rendering and persist grids to disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentSpec {
     /// Label for reports.
     pub name: String,
@@ -257,11 +261,8 @@ pub struct RunOutcome {
 /// Runs `spec` under the given balancer until all tasks complete (or
 /// the epoch limit hits) and returns everything the run produced.
 ///
-/// This is the single experiment entry point; the former
-/// `run_experiment` / `run_experiment_traced` /
-/// `run_experiment_instrumented` trio are thin deprecated shims over
-/// it, differing only in which [`RunOptions`] they pass and which
-/// slices of the [`RunOutcome`] they return.
+/// This is the single experiment entry point: tracing, observability
+/// and the engine override are all [`RunOptions`] knobs.
 pub fn run_experiment_with(
     spec: &ExperimentSpec,
     balancer: &mut dyn LoadBalancer,
@@ -308,59 +309,6 @@ pub fn run_experiment_with(
         trace: capture,
         observability,
     }
-}
-
-/// Runs `spec` under the given balancer and returns the measurements.
-#[deprecated(
-    since = "0.1.0",
-    note = "use run_experiment_with(spec, balancer, RunOptions::new())"
-)]
-pub fn run_experiment(spec: &ExperimentSpec, balancer: &mut dyn LoadBalancer) -> RunResult {
-    run_experiment_with(spec, balancer, RunOptions::new()).result
-}
-
-/// [`run_experiment_with`] returning only the measurements and trace.
-#[deprecated(
-    since = "0.1.0",
-    note = "use run_experiment_with with RunOptions { trace, .. }"
-)]
-pub fn run_experiment_traced(
-    spec: &ExperimentSpec,
-    balancer: &mut dyn LoadBalancer,
-    trace: Option<TraceRequest>,
-) -> (RunResult, Option<TraceCapture>) {
-    let outcome = run_experiment_with(
-        spec,
-        balancer,
-        RunOptions {
-            trace,
-            ..RunOptions::default()
-        },
-    );
-    (outcome.result, outcome.trace)
-}
-
-/// [`run_experiment_with`] with positional trace/observability knobs.
-#[deprecated(
-    since = "0.1.0",
-    note = "use run_experiment_with with RunOptions { trace, observe, .. }"
-)]
-pub fn run_experiment_instrumented(
-    spec: &ExperimentSpec,
-    balancer: &mut dyn LoadBalancer,
-    trace: Option<TraceRequest>,
-    observe: bool,
-) -> (RunResult, Option<TraceCapture>, Option<ObsCapture>) {
-    let outcome = run_experiment_with(
-        spec,
-        balancer,
-        RunOptions {
-            trace,
-            observe,
-            engine: None,
-        },
-    );
-    (outcome.result, outcome.trace, outcome.observability)
 }
 
 /// Runs `spec` under each policy and returns the results in the same
@@ -533,29 +481,6 @@ mod tests {
         // Efficiency ratio helper.
         let ratio = results[2].efficiency_vs(&results[1]);
         assert!(ratio > 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_consolidated_entry_point() {
-        // The three legacy entry points are contracts: each must be an
-        // exact restriction of run_experiment_with until removed.
-        let spec = small_spec();
-        let mut b = Policy::Vanilla.build(&spec.platform, None);
-        let consolidated = run_experiment_with(&spec, b.as_mut(), RunOptions::new()).result;
-
-        let mut b = Policy::Vanilla.build(&spec.platform, None);
-        assert_eq!(consolidated, run_experiment(&spec, b.as_mut()));
-
-        let mut b = Policy::Vanilla.build(&spec.platform, None);
-        let (traced, capture) = run_experiment_traced(&spec, b.as_mut(), None);
-        assert_eq!(consolidated, traced);
-        assert!(capture.is_none());
-
-        let mut b = Policy::Vanilla.build(&spec.platform, None);
-        let (instr, capture, obs) = run_experiment_instrumented(&spec, b.as_mut(), None, false);
-        assert_eq!(consolidated, instr);
-        assert!(capture.is_none() && obs.is_none());
     }
 
     #[test]

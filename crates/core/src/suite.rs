@@ -31,6 +31,7 @@
 //! assert_eq!(gains.len(), 1, "one non-baseline job");
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
@@ -133,8 +134,12 @@ impl SuiteJob {
             .build(&self.spec.platform, Some(&self.effective_config()))
     }
 
-    /// Runs the job to completion (what a suite worker executes).
-    fn execute(&self, index: usize) -> JobResult {
+    /// Runs the job to completion — the per-job execution hook the
+    /// suite's workers use, public so orchestration layers above the
+    /// suite (the campaign runner) can execute a single job under
+    /// their own isolation/retry policy and still get the exact
+    /// byte-stream a pooled run would have produced.
+    pub fn execute(&self, index: usize) -> JobResult {
         let start = Instant::now();
         let mut balancer = self.build_balancer();
         let outcome = run_experiment_with(
@@ -175,6 +180,63 @@ pub struct JobResult {
     pub obs: Option<ObsCapture>,
     /// Wall-clock duration of this job alone, seconds.
     pub wall_s: f64,
+}
+
+/// Why one suite job failed, without taking the rest of the pool down.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// Index of the job in the suite.
+    pub job_index: usize,
+    /// The seed the job ran with.
+    pub seed: u64,
+    /// The policy the job ran under.
+    pub policy: Policy,
+    /// The experiment label from the job's spec.
+    pub experiment: String,
+    /// The panic payload, rendered as text (`<non-string panic>` when
+    /// the payload was not a string).
+    pub panic: String,
+}
+
+/// The typed outcome of one suite job: the measurements, or the
+/// isolated failure. A panicking job no longer poisons the pool — it
+/// becomes a [`JobOutcome::Failed`] entry that callers (chaos sweeps,
+/// the campaign runner) can account for and continue past.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The job ran to completion (boxed: results dwarf failures).
+    Completed(Box<JobResult>),
+    /// The job panicked; the payload is captured, the pool kept going.
+    Failed(JobFailure),
+}
+
+impl JobOutcome {
+    /// The completed result, if the job did not fail.
+    pub fn result(&self) -> Option<&JobResult> {
+        match self {
+            JobOutcome::Completed(r) => Some(r),
+            JobOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure record, if the job panicked.
+    pub fn failure(&self) -> Option<&JobFailure> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Failed(f) => Some(f),
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as text for [`JobFailure::panic`].
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
 }
 
 /// A progress tick, delivered to the suite's callback as each job
@@ -427,18 +489,25 @@ impl ExperimentSuite {
         &self.jobs
     }
 
-    /// Runs every queued job across the worker pool and collects the
-    /// results in job order. Jobs are handed out through a shared
-    /// counter, so workers stay busy regardless of per-job cost; the
-    /// per-job seeds make the outcome identical for any pool size.
+    /// Runs every queued job across the worker pool and returns the
+    /// typed per-job outcomes in job order. A panicking job is caught
+    /// on its worker, surfaced as [`JobOutcome::Failed`], and the rest
+    /// of the pool keeps draining the queue — one poisoned cell never
+    /// aborts a sweep. Jobs are handed out through a shared counter,
+    /// so workers stay busy regardless of per-job cost; the per-job
+    /// seeds make the outcomes identical for any pool size.
+    pub fn run_outcomes(&self) -> Vec<JobOutcome> {
+        self.run_pool().0
+    }
+
     #[allow(clippy::expect_used)] // slot-fill invariant justified inline
-    pub fn run(&self) -> SuiteReport {
+    fn run_pool(&self) -> (Vec<JobOutcome>, usize, f64) {
         let start = Instant::now();
         let total = self.jobs.len();
         let workers = self.workers.min(total).max(1);
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..total).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<JobOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -447,38 +516,74 @@ impl ExperimentSuite {
                     if index >= total {
                         break;
                     }
-                    let outcome = self.jobs[index].execute(index);
+                    let job = &self.jobs[index];
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| job.execute(index))) {
+                        Ok(result) => JobOutcome::Completed(Box::new(result)),
+                        Err(payload) => JobOutcome::Failed(JobFailure {
+                            job_index: index,
+                            seed: job.seed,
+                            policy: job.policy,
+                            experiment: job.spec.name.clone(),
+                            panic: panic_message(payload.as_ref()),
+                        }),
+                    };
                     let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if let Some(hook) = &self.progress {
+                    if let (Some(hook), JobOutcome::Completed(result)) = (&self.progress, &outcome)
+                    {
                         hook(&SuiteProgress {
                             completed,
                             total,
                             job_index: index,
-                            experiment: outcome.result.experiment.clone(),
-                            policy: outcome.policy,
-                            wall_s: outcome.wall_s,
+                            experiment: result.result.experiment.clone(),
+                            policy: result.policy,
+                            wall_s: result.wall_s,
                         });
                     }
-                    // A panicking sibling worker poisons the mutex but
-                    // cannot corrupt the Vec (each slot is written once,
-                    // under the lock); recover the data and keep going.
+                    // A panic inside the progress hook poisons the mutex
+                    // but cannot corrupt the Vec (each slot is written
+                    // once, under the lock); recover and keep going.
                     slots.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(outcome);
                 });
             }
         });
 
-        let jobs: Vec<JobResult> = slots
+        let outcomes: Vec<JobOutcome> = slots
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
             // smartlint: allow(panic, "the atomic job counter hands every index below count to exactly one worker, so each slot is filled")
             .map(|slot| slot.expect("every job index was executed"))
             .collect();
+        (outcomes, workers, start.elapsed().as_secs_f64())
+    }
+
+    /// Runs every queued job and collects the results in job order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first job failure (in job order) once the whole
+    /// pool has drained — callers that need to survive poisoned cells
+    /// use [`run_outcomes`](Self::run_outcomes) instead.
+    pub fn run(&self) -> SuiteReport {
+        let (outcomes, workers, wall_s) = self.run_pool();
+        let mut jobs = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                JobOutcome::Completed(result) => jobs.push(*result),
+                JobOutcome::Failed(failure) => {
+                    // smartlint: allow(panic, "run() documents abort-on-failure semantics; failure-tolerant callers use run_outcomes")
+                    panic!(
+                        "suite job {} ({} under {:?}) panicked: {}",
+                        failure.job_index, failure.experiment, failure.policy, failure.panic
+                    );
+                }
+            }
+        }
         let serial_wall_s = jobs.iter().map(|j| j.wall_s).sum();
         SuiteReport {
             jobs,
             workers,
-            wall_s: start.elapsed().as_secs_f64(),
+            wall_s,
             serial_wall_s,
         }
     }
@@ -653,6 +758,47 @@ mod tests {
         let ja = serde_json::to_string(&report.jobs[a].result).expect("serialize");
         let jb = serde_json::to_string(&report.jobs[b].result).expect("serialize");
         assert_eq!(ja, jb, "engine choice leaked into the measurements");
+    }
+
+    #[test]
+    fn failed_job_is_isolated_and_typed() {
+        // IKS asserts a 2-type big.LITTLE platform; on the 4-type quad
+        // it panics deterministically — the canonical poisoned cell.
+        let mut suite = ExperimentSuite::new().with_workers(2);
+        suite.push(tiny_spec("ok0"), Policy::Vanilla);
+        suite.push(tiny_spec("bad"), Policy::Iks);
+        suite.push(tiny_spec("ok1"), Policy::Vanilla);
+        let outcomes = suite.run_outcomes();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].result().is_some(), "sibling job survived");
+        assert!(outcomes[2].result().is_some(), "later job still ran");
+        let failure = outcomes[1].failure().expect("IKS on quad must fail");
+        assert_eq!(failure.job_index, 1);
+        assert_eq!(failure.policy, Policy::Iks);
+        assert_eq!(failure.experiment, "bad");
+        assert_eq!(failure.seed, splitmix64(1));
+        assert!(
+            failure.panic.contains("exactly 2 core types"),
+            "payload text captured: {failure:?}"
+        );
+    }
+
+    #[test]
+    fn run_outcomes_matches_run_on_clean_suites() {
+        let mut suite = ExperimentSuite::new().with_workers(2);
+        suite.push(tiny_spec("w"), Policy::Vanilla);
+        suite.push(tiny_spec("w"), Policy::Smart);
+        let outcomes = suite.run_outcomes();
+        let report = suite.run();
+        assert_eq!(outcomes.len(), report.jobs.len());
+        for (o, j) in outcomes.iter().zip(&report.jobs) {
+            let r = o.result().expect("clean suite: no failures");
+            assert_eq!(
+                serde_json::to_string(&r.result).expect("serialize"),
+                serde_json::to_string(&j.result).expect("serialize"),
+                "outcome path and report path must measure identically"
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub struct SystemStats {
     pub completed_tasks: usize,
     /// Tasks still live.
     pub live_tasks: usize,
+    /// Total execution slices dispatched over the run. A pure function
+    /// of the simulation, so orchestration layers (the campaign runner)
+    /// can use it as a deterministic work budget in place of the
+    /// wall-clock timeouts smartlint D2 bans.
+    pub total_slices: u64,
     /// Total thread migrations performed.
     pub migrations: u64,
     /// Migrations that crossed a cluster boundary (see
@@ -73,6 +78,7 @@ impl SystemStats {
             elapsed_ns: sys.now_ns(),
             completed_tasks: sys.tasks().iter().filter(|t| t.is_exited()).count(),
             live_tasks: sys.live_tasks(),
+            total_slices: sys.total_slices(),
             migrations: sys.total_migrations(),
             cross_cluster_migrations: sys.cross_cluster_migrations(),
             migration_totals: sys.migration_totals(),
@@ -133,6 +139,7 @@ mod tests {
         assert_eq!(st.completed_tasks, 1);
         assert_eq!(st.live_tasks, 0);
         assert_eq!(st.migrations, 0);
+        assert!(st.total_slices > 0);
         assert_eq!(st.per_core.len(), 4);
         assert!(st.instructions_per_joule() > 0.0);
         assert!(st.throughput_ips() > 0.0);

@@ -1,0 +1,19 @@
+//! C1 fixture: every raw write surface a checkpoint crash can tear.
+use std::fs::{self, File};
+use std::io::Write;
+
+pub fn create_journal(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+pub fn append_record(path: &std::path::Path) -> std::io::Result<File> {
+    std::fs::OpenOptions::new().append(true).open(path)
+}
+
+pub fn overwrite(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}
+
+pub fn stream(mut file: File, line: &[u8]) -> std::io::Result<()> {
+    file.write_all(line)
+}

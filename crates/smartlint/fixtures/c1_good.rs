@@ -1,0 +1,17 @@
+//! C1 fixture: the sanctioned atomic checkpoint surface — reads,
+//! renames, and a temp-sibling writer justified by annotation.
+use std::fs;
+use std::path::Path;
+
+pub fn load(path: &Path) -> std::io::Result<String> {
+    fs::read_to_string(path)
+}
+
+pub fn commit(tmp: &Path, live: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, live)
+}
+
+pub fn write_tmp_sibling(tmp: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    // smartlint: allow(checkpoint-write, "writes the .tmp sibling only; commit() renames it over the live journal in one atomic step")
+    fs::write(tmp, bytes)
+}

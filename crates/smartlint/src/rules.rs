@@ -85,6 +85,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "crate roots must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]",
     },
     RuleInfo {
+        id: "C1",
+        key: "checkpoint-write",
+        summary: "no direct file writes in campaign checkpoint code; all persistence goes through the atomic temp-file+rename writer",
+    },
+    RuleInfo {
         id: "A0",
         key: "annotation",
         summary: "smartlint annotations must parse and carry a non-empty reason",
@@ -107,6 +112,7 @@ const SIM_CRATES: &[&str] = &[
     "crates/kernelsim/src/",
     "crates/core/src/",
     "crates/telemetry/src/",
+    "crates/campaign/src/",
 ];
 
 /// Library crates subject to panic hygiene (P1) and determinism (D2).
@@ -119,6 +125,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/core/src/",
     "crates/smartlint/src/",
     "crates/telemetry/src/",
+    "crates/campaign/src/",
 ];
 
 /// Counter/energy accounting files where every numeric `as` cast must
@@ -136,6 +143,12 @@ const POWER_FILES: &[&str] = &[
     "crates/core/src/objective.rs",
     "crates/kernelsim/src/stats.rs",
 ];
+
+/// Checkpoint-persistence code where every file write must go through
+/// the atomic temp-file+rename writer (C1): a plain `File::create` /
+/// `fs::write` over the live journal tears it on a crash mid-write,
+/// which is exactly the failure the campaign runner exists to survive.
+const CHECKPOINT_FILES: &[&str] = &["crates/campaign/src/"];
 
 fn in_scope(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| {
@@ -175,6 +188,10 @@ fn p1_applies(path: &str) -> bool {
 
 fn h1_applies(path: &str) -> bool {
     path.starts_with("crates/") && path.ends_with("/src/lib.rs")
+}
+
+fn c1_applies(path: &str) -> bool {
+    in_scope(path, CHECKPOINT_FILES)
 }
 
 // ---------------------------------------------------------------------
@@ -389,6 +406,9 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
     }
     if h1_applies(path) {
         rule_h1(path, &lexed, &mut findings);
+    }
+    if c1_applies(path) {
+        rule_c1(path, &lexed, &lines, &regions, &mut findings);
     }
 
     // Apply suppressions, dedupe to one finding per (rule, line), and
@@ -749,6 +769,61 @@ fn rule_h1(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
     }
 }
 
+/// C1 — non-atomic checkpoint writes. Flags the raw file-writing
+/// surface (`File::create`, `OpenOptions`, `fs::write`, `.write_all(`)
+/// in campaign persistence code: a process killed mid-write leaves a
+/// torn journal unless the bytes went to a temp sibling first and were
+/// renamed over the target in one step. The one sanctioned writer
+/// (`CheckpointJournal::flush`) carries the justification annotations.
+fn rule_c1(
+    path: &str,
+    lexed: &Lexed,
+    lines: &[&str],
+    regions: &[(u32, u32)],
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || in_test_region(regions, t.line) {
+            continue;
+        }
+        // `File :: create` / `File :: options` / any `OpenOptions` use.
+        let file_ctor = t.text == "File"
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, ":"))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, ":"))
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| matches!(n.text.as_str(), "create" | "create_new" | "options"));
+        let open_options = t.text == "OpenOptions";
+        // `fs :: write` path call.
+        let fs_write = t.text == "fs"
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, ":"))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, ":"))
+            && toks.get(i + 3).is_some_and(|n| n.text == "write");
+        // `. write_all (` method call.
+        let write_all = t.text == "write_all"
+            && i >= 1
+            && is_punct(&toks[i - 1], ".")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "("));
+        if file_ctor || open_options || fs_write || write_all {
+            findings.push(finding(
+                "C1",
+                path,
+                t.line,
+                lines,
+                format!(
+                    "`{}` writes checkpoint state non-atomically: a kill mid-write tears the \
+                     journal — write to a `.tmp` sibling and `fs::rename` over the target \
+                     (CheckpointJournal::flush), or justify with \
+                     `// smartlint: allow(checkpoint-write, \"…\")`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -847,6 +922,65 @@ mod tests {
         assert!(
             analyze_source("crates/core/src/suite.rs", probing).is_empty(),
             "suite.rs is the sanctioned environment-consulting point"
+        );
+    }
+
+    #[test]
+    fn campaign_crate_is_inside_every_relevant_scope() {
+        // The campaign runner's resume-byte-identity contract rests on
+        // the same invariants as the simulator: no unordered iteration
+        // (D1), no ambient time/randomness/env (D2), panic hygiene
+        // (P1), and — unique to it — atomic checkpoint writes (C1).
+        for path in [
+            "crates/campaign/src/lib.rs",
+            "crates/campaign/src/journal.rs",
+            "crates/campaign/src/runner.rs",
+        ] {
+            assert!(d1_applies(path), "{path} must be in D1 scope");
+            assert!(d2_applies(path), "{path} must be in D2 scope");
+            assert!(p1_applies(path), "{path} must be in P1 scope");
+            assert!(c1_applies(path), "{path} must be in C1 scope");
+        }
+        assert!(
+            !c1_applies("crates/core/src/suite.rs"),
+            "C1 is campaign-only; other crates do not persist checkpoints"
+        );
+
+        // A wall-clock timeout in the runner would break resume
+        // determinism — D2 must catch it exactly as in the sim crates.
+        let clocky = "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n";
+        let f = analyze_source("crates/campaign/src/runner.rs", clocky);
+        assert!(
+            f.iter().any(|x| x.rule == "D2"),
+            "wall-clock reads must fire D2 in the campaign runner: {f:?}"
+        );
+    }
+
+    #[test]
+    fn c1_flags_every_raw_write_surface() {
+        let src = "use std::fs::{self, File};\nuse std::io::Write;\npub fn a(p: &std::path::Path) { let _ = File::create(p); }\npub fn b(p: &std::path::Path) { let _ = std::fs::OpenOptions::new().append(true).open(p); }\npub fn c(p: &std::path::Path) { let _ = fs::write(p, b\"x\"); }\npub fn d(mut f: File) { let _ = f.write_all(b\"x\"); }\n";
+        let got: Vec<(String, u32)> = analyze_source("crates/campaign/src/journal.rs", src)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("C1".to_string(), 3),
+                ("C1".to_string(), 4),
+                ("C1".to_string(), 5),
+                ("C1".to_string(), 6),
+            ],
+            "File::create, OpenOptions, fs::write and write_all must each fire"
+        );
+    }
+
+    #[test]
+    fn c1_spares_renames_reads_and_annotated_sites() {
+        let src = "use std::fs;\npub fn swap(a: &std::path::Path, b: &std::path::Path) -> std::io::Result<()> {\n    let _ = fs::read_to_string(a);\n    fs::rename(a, b)\n}\n// smartlint: allow(checkpoint-write, \"writes the .tmp sibling, then renames over the journal\")\npub fn tmp(p: &std::path::Path) { let _ = fs::write(p, b\"x\"); }\n";
+        assert!(
+            analyze_source("crates/campaign/src/journal.rs", src).is_empty(),
+            "rename/read and the annotated tmp-writer are the sanctioned surface"
         );
     }
 }

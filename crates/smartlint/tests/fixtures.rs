@@ -109,6 +109,26 @@ fn h1_good_is_clean() {
 }
 
 #[test]
+fn c1_bad_flags_every_raw_checkpoint_write() {
+    let got = findings("c1_bad.rs", "crates/campaign/src/journal.rs");
+    assert_eq!(
+        got,
+        vec![
+            ("C1".to_string(), 6),
+            ("C1".to_string(), 10),
+            ("C1".to_string(), 14),
+            ("C1".to_string(), 18),
+        ],
+        "File::create, OpenOptions, fs::write and write_all must each be flagged"
+    );
+}
+
+#[test]
+fn c1_good_is_clean() {
+    assert!(findings("c1_good.rs", "crates/campaign/src/journal.rs").is_empty());
+}
+
+#[test]
 fn a0_bad_flags_malformed_annotations() {
     let got = findings("a0_bad.rs", "crates/archsim/src/pipeline.rs");
     assert_eq!(

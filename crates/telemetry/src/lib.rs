@@ -254,6 +254,36 @@ impl Telemetry {
         }
     }
 
+    /// Records a campaign cell that ran to completion, after
+    /// `attempts` total tries (1 = first-try success). Campaign events
+    /// sit above the per-epoch span model, so these touch only the
+    /// counter registry.
+    pub fn record_campaign_completed(&mut self, attempts: u64) {
+        self.registry.counter_add("sb_campaign_completed_total", 1);
+        if attempts > 1 {
+            self.registry
+                .counter_add("sb_campaign_retried_total", attempts - 1);
+        }
+    }
+
+    /// Records a campaign cell quarantined after exhausting its retry
+    /// ladder with `attempts` failed tries.
+    pub fn record_campaign_quarantined(&mut self, attempts: u64) {
+        self.registry
+            .counter_add("sb_campaign_quarantined_total", 1);
+        if attempts > 1 {
+            self.registry
+                .counter_add("sb_campaign_retried_total", attempts - 1);
+        }
+    }
+
+    /// Records `cells` campaign cells skipped on resume because the
+    /// checkpoint journal already carried their outcomes.
+    pub fn record_campaign_resumed(&mut self, cells: u64) {
+        self.registry
+            .counter_add("sb_campaign_resumed_total", cells);
+    }
+
     /// Closes the open span at simulation time `now_ns`. The cumulative
     /// slice and estimate-cache totals are diffed against the previous
     /// close to produce per-epoch deltas.
@@ -499,6 +529,20 @@ mod tests {
         assert_eq!(s.mode_transitions, 1);
         assert_eq!(s.migrations, 2);
         assert_eq!(s.rejected_migrations, 1);
+    }
+
+    #[test]
+    fn campaign_counters_accumulate() {
+        let mut t = Telemetry::new();
+        t.record_campaign_completed(1); // first-try success: no retries
+        t.record_campaign_completed(3); // succeeded on the third try
+        t.record_campaign_quarantined(4); // gave up after four tries
+        t.record_campaign_resumed(7);
+        let text = t.registry().prometheus_text();
+        assert!(text.contains("sb_campaign_completed_total 2"), "{text}");
+        assert!(text.contains("sb_campaign_retried_total 5"), "{text}");
+        assert!(text.contains("sb_campaign_quarantined_total 1"), "{text}");
+        assert!(text.contains("sb_campaign_resumed_total 7"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Campaign crash-safety acceptance tests: a killed campaign resumes
+//! from its checkpoint journal without recomputing completed cells and
+//! reproduces the uninterrupted report byte-for-byte (canonicalized);
+//! a deterministically failing cell climbs the retry ladder, lands in
+//! quarantine, and never takes the rest of the grid with it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use archsim::{Platform, WorkloadCharacteristics};
+use campaign::{Campaign, CampaignConfig, CampaignJob, CampaignReport, CheckpointJournal};
+use smartbalance::{ExperimentSpec, Policy};
+use workloads::WorkloadProfile;
+
+fn tiny_spec(name: &str, instructions: u64) -> ExperimentSpec {
+    ExperimentSpec::new(
+        name,
+        Platform::quad_heterogeneous(),
+        vec![
+            WorkloadProfile::uniform("t0", WorkloadCharacteristics::balanced(), instructions),
+            WorkloadProfile::uniform("t1", WorkloadCharacteristics::compute_bound(), instructions),
+        ],
+    )
+    .with_max_epochs(60)
+}
+
+/// A 6-cell grid: three specs under two policies each.
+fn grid() -> Vec<CampaignJob> {
+    let mut jobs = Vec::new();
+    for (s, spec_name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        for policy in [Policy::Vanilla, Policy::Smart] {
+            let index = jobs.len();
+            jobs.push(CampaignJob::new(
+                index,
+                tiny_spec(spec_name, 400_000 + 100_000 * s as u64),
+                policy,
+            ));
+        }
+    }
+    jobs
+}
+
+fn journal_path(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("campaign-acceptance-tests");
+    fs::create_dir_all(&dir).expect("temp dir creates");
+    let path = dir.join(format!("{test}.jsonl"));
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(dir.join(format!("{test}.jsonl.tmp")));
+    path
+}
+
+fn canonical_bytes(report: &CampaignReport) -> String {
+    serde_json::to_string(&report.canonicalized()).expect("report serializes")
+}
+
+#[test]
+fn uninterrupted_campaign_completes_every_cell() {
+    let path = journal_path("uninterrupted");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let mut campaign = Campaign::new(grid(), CampaignConfig::default(), journal);
+    let report = campaign.run().expect("journal flushes");
+    assert!(report.is_complete());
+    assert!(!report.interrupted);
+    assert_eq!(report.cells, 6);
+    assert_eq!(report.completed.len(), 6);
+    assert_eq!(report.poisoned.len(), 0);
+    assert_eq!(report.retries_total, 0);
+    assert_eq!(report.resumed_cells, 0);
+    assert_eq!(report.executed_cells, 6);
+    assert_eq!(campaign.journal().len(), 6, "every cell checkpointed");
+    // Cells are reported in grid order with their grid indices.
+    let indices: Vec<usize> = report.completed.iter().map(|c| c.index).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn killed_campaign_resumes_without_recomputation_and_matches_bytes() {
+    // Reference: one straight run.
+    let ref_path = journal_path("kill-resume-reference");
+    let journal = CheckpointJournal::load(&ref_path).expect("fresh journal");
+    let mut reference = Campaign::new(grid(), CampaignConfig::default(), journal);
+    let reference_report = reference.run().expect("journal flushes");
+    assert!(reference_report.is_complete());
+
+    // "Kill" a second campaign after two cells: the per-run cell
+    // budget stops the process exactly as SIGKILL would, after the
+    // journal has flushed the completed prefix.
+    let path = journal_path("kill-resume");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let interrupted_config = CampaignConfig {
+        flush_every: 1,
+        max_cells_this_run: Some(2),
+        ..CampaignConfig::default()
+    };
+    let mut first = Campaign::new(grid(), interrupted_config, journal);
+    let first_report = first.run().expect("journal flushes");
+    assert!(first_report.interrupted);
+    assert_eq!(first_report.executed_cells, 2);
+    assert!(!first_report.is_complete());
+
+    // Resume in a brand-new runner (fresh process, same journal path).
+    let journal = CheckpointJournal::load(&path).expect("journal replays");
+    assert_eq!(journal.len(), 2, "the killed run left two checkpoints");
+    let mut resumed = Campaign::new(grid(), CampaignConfig::default(), journal);
+    let resumed_report = resumed.run().expect("journal flushes");
+    assert!(resumed_report.is_complete());
+    assert_eq!(resumed_report.resumed_cells, 2, "replayed, not recomputed");
+    assert_eq!(
+        resumed_report.executed_cells, 4,
+        "only the pending cells ran"
+    );
+
+    assert_eq!(
+        canonical_bytes(&resumed_report),
+        canonical_bytes(&reference_report),
+        "resumed campaign must be byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn deterministic_panic_is_retried_then_quarantined_and_grid_survives() {
+    // IKS asserts a paired big.LITTLE platform; on the 4-type quad it
+    // panics deterministically — the canonical poisoned cell.
+    let mut jobs = grid();
+    let poisoned_index = jobs.len();
+    jobs.push(CampaignJob::new(
+        poisoned_index,
+        tiny_spec("poisoned", 400_000),
+        Policy::Iks,
+    ));
+
+    let path = journal_path("quarantine");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let config = CampaignConfig {
+        max_retries: 2,
+        ..CampaignConfig::default()
+    };
+    let mut campaign = Campaign::new(jobs, config, journal);
+    let report = campaign.run().expect("journal flushes");
+
+    assert!(report.is_complete(), "quarantine is terminal, not fatal");
+    assert_eq!(report.completed.len(), 6, "healthy cells all finished");
+    assert_eq!(report.poisoned.len(), 1);
+    let cell = &report.poisoned[0];
+    assert_eq!(cell.index, poisoned_index);
+    assert_eq!(cell.attempts, 3, "first try + max_retries retries");
+    assert!(
+        cell.error.contains("exactly 2 core types"),
+        "the panic payload is preserved: {}",
+        cell.error
+    );
+    assert_eq!(report.retries_total, 2);
+}
+
+#[test]
+fn epoch_and_slice_budgets_quarantine_runaway_cells() {
+    // A workload far too large to finish inside the clamped epoch
+    // budget stands in for a hung cell.
+    let hung = CampaignJob::new(
+        0,
+        tiny_spec("hung", 2_000_000_000).with_max_epochs(10_000),
+        Policy::Vanilla,
+    );
+    let path = journal_path("epoch-budget");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let config = CampaignConfig {
+        max_retries: 0,
+        max_epochs_per_job: Some(5),
+        ..CampaignConfig::default()
+    };
+    let mut campaign = Campaign::new(vec![hung], config, journal);
+    let report = campaign.run().expect("journal flushes");
+    assert_eq!(report.poisoned.len(), 1);
+    assert_eq!(report.poisoned[0].attempts, 1, "max_retries 0: one try");
+    assert!(
+        report.poisoned[0].error.contains("epoch budget exhausted"),
+        "{}",
+        report.poisoned[0].error
+    );
+
+    // A healthy cell under an absurdly small slice budget trips the
+    // post-hoc classifier the same way.
+    let busy = CampaignJob::new(0, tiny_spec("busy", 400_000), Policy::Vanilla);
+    let path = journal_path("slice-budget");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let config = CampaignConfig {
+        max_retries: 0,
+        max_slices_per_job: Some(1),
+        ..CampaignConfig::default()
+    };
+    let mut campaign = Campaign::new(vec![busy], config, journal);
+    let report = campaign.run().expect("journal flushes");
+    assert_eq!(report.poisoned.len(), 1);
+    assert!(
+        report.poisoned[0].error.contains("slice budget exceeded"),
+        "{}",
+        report.poisoned[0].error
+    );
+}
+
+#[test]
+fn stop_file_requests_graceful_shutdown_with_partial_report() {
+    let path = journal_path("stop-file");
+    let stop = path.with_extension("stop");
+    let _ = fs::remove_file(&stop);
+
+    // First: complete two cells so the journal has something to keep.
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let config = CampaignConfig {
+        flush_every: 1,
+        max_cells_this_run: Some(2),
+        ..CampaignConfig::default()
+    };
+    let mut campaign = Campaign::new(grid(), config, journal);
+    campaign.run().expect("journal flushes");
+
+    // Then: a stop request present at startup halts before any new
+    // work, but the partial report still carries the completed cells.
+    fs::write(&stop, b"stop").expect("stop file writes");
+    let journal = CheckpointJournal::load(&path).expect("journal replays");
+    let config = CampaignConfig {
+        stop_file: Some(stop.clone()),
+        ..CampaignConfig::default()
+    };
+    let mut campaign = Campaign::new(grid(), config, journal);
+    let report = campaign.run().expect("journal flushes");
+    let _ = fs::remove_file(&stop);
+
+    assert!(report.interrupted, "stop file wins before the first batch");
+    assert_eq!(report.executed_cells, 0, "no new work after the request");
+    assert_eq!(report.resumed_cells, 2);
+    assert_eq!(report.completed.len(), 2, "partial report keeps the prefix");
+}
+
+#[test]
+fn resume_tolerates_a_torn_journal_tail() {
+    // Complete two cells, then append garbage — the torn tail a
+    // non-atomic writer would leave. Resume must replay the intact
+    // records, recompute only what the tail lost, and still match the
+    // reference bytes.
+    let ref_path = journal_path("torn-reference");
+    let journal = CheckpointJournal::load(&ref_path).expect("fresh journal");
+    let mut reference = Campaign::new(grid(), CampaignConfig::default(), journal);
+    let reference_report = reference.run().expect("journal flushes");
+
+    let path = journal_path("torn");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let config = CampaignConfig {
+        flush_every: 1,
+        max_cells_this_run: Some(2),
+        ..CampaignConfig::default()
+    };
+    let mut first = Campaign::new(grid(), config, journal);
+    first.run().expect("journal flushes");
+    let mut text = fs::read_to_string(&path).expect("journal readable");
+    text.push_str("{\"Completed\":{\"id\":\"feedface00");
+    fs::write(&path, text).expect("tear the tail");
+
+    let journal = CheckpointJournal::load(&path).expect("load tolerates tail");
+    assert_eq!(journal.skipped_lines(), 1);
+    assert_eq!(journal.len(), 2);
+    let mut resumed = Campaign::new(grid(), CampaignConfig::default(), journal);
+    let resumed_report = resumed.run().expect("journal flushes");
+    assert!(resumed_report.is_complete());
+    assert_eq!(
+        canonical_bytes(&resumed_report),
+        canonical_bytes(&reference_report)
+    );
+}

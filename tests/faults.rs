@@ -15,7 +15,10 @@ use archsim::{
     SensorBank, SensorInterface,
 };
 use kernelsim::{MigrationReject, System, SystemConfig};
-use smartbalance::{DegradeConfig, DegradeMode, SmartBalance, SmartBalanceConfig, VanillaBalancer};
+use smartbalance::{
+    DegradeConfig, DegradeMode, Policy, ShardConfig, SmartBalance, SmartBalanceConfig,
+    VanillaBalancer,
+};
 use workloads::SyntheticGenerator;
 
 /// A deterministic pseudo-random counter stream for bank-level tests.
@@ -208,6 +211,83 @@ fn certain_migration_failure_degrades_to_no_migrations() {
     assert!(transient > 0, "the balancer must have attempted moves");
     assert_eq!(sys.stats().migrations, 0);
     assert!(sys.sensors().total_instructions() > 0, "work continued");
+}
+
+/// The sharded balancer against a whole-cluster catastrophe: cluster 1
+/// first goes sensing-blind (every sample dropped, so its threads fall
+/// back to cache replay and then the neutral prior), then is hotplugged
+/// out entirely. The per-cluster shards and the global exchange stage
+/// must keep running, never place a live thread on the dead cluster,
+/// and never even *request* a migration onto it; when the cluster heals
+/// and comes back, the shards must pick it up again.
+#[test]
+fn sharded_balancer_survives_whole_cluster_blackout_and_hotplug() {
+    let platform = Platform::clustered_heterogeneous(4, 4);
+    let cluster1: Vec<usize> = (4..8).collect();
+    let cfg = SmartBalanceConfig {
+        train_corpus: 80,
+        shard: Some(ShardConfig::default()),
+        ..SmartBalanceConfig::default()
+    };
+    let mut policy = Policy::Smart.build(&platform, Some(&cfg));
+    assert_eq!(policy.name(), "smartbalance-sharded");
+
+    let mut sys = System::new(platform, SystemConfig::default());
+    // Blackout: from epoch 4 every sample on cluster 1 is lost in
+    // transit, well before the hotplug at epoch 10 — the shards see the
+    // cluster rot before it disappears.
+    let mut plan = FaultPlan::new();
+    for &c in &cluster1 {
+        plan = plan.inject(4, Some(c), FaultKind::DroppedSamples { prob: 1.0 });
+        plan = plan.clear(22, Some(c), FaultClass::Drop);
+    }
+    sys.set_fault_plan(plan, 0xB1AC_0007);
+
+    let mut gen = SyntheticGenerator::new(0xC1A5);
+    for i in 0..20 {
+        sys.spawn(gen.profile(format!("c{i}"), 4, u64::MAX / 64, i % 2 == 0));
+    }
+
+    for epoch in 0..30u64 {
+        if epoch == 10 {
+            for &c in &cluster1 {
+                sys.set_core_online(CoreId(c), false);
+            }
+        }
+        if epoch == 22 {
+            for &c in &cluster1 {
+                sys.set_core_online(CoreId(c), true);
+            }
+        }
+        let report = sys.run_epoch(policy.as_mut());
+        if (10..22).contains(&epoch) {
+            for t in report.tasks.iter().filter(|t| t.alive) {
+                assert!(
+                    !cluster1.contains(&t.core.0),
+                    "epoch {epoch}: live task {:?} on blacked-out offline cluster core {}",
+                    t.task,
+                    t.core.0
+                );
+            }
+        }
+    }
+    // The shards must respect the hotplug mask up front: not one
+    // migration request toward the dead cluster, ever.
+    let stats = sys.stats();
+    assert_eq!(
+        stats.migration_totals.offline_core, 0,
+        "sharded balancer requested migrations onto offline cores"
+    );
+    assert!(
+        sys.sensors().total_instructions() > 0,
+        "work continued through the blackout"
+    );
+    // Healed and back online: the revived cluster is usable again.
+    let revived = sys.tasks().iter().any(|t| cluster1.contains(&t.core().0));
+    assert!(
+        revived || sys.tasks().is_empty(),
+        "no thread ever returned to the revived cluster"
+    );
 }
 
 /// The issue's acceptance scenario: 20 % stuck counters on every core,
