@@ -9,10 +9,16 @@
 //! simulation code, no lossy casts in counter/energy accounting, and
 //! disciplined panic hygiene in library crates.
 //!
-//! smartlint is a dependency-free static-analysis pass (hand-rolled
-//! lexer, path-scoped rules) that walks every workspace source and
-//! enforces exactly those invariants. See [`rules::RULES`] for the
-//! rule set and `DESIGN.md` for the rationale.
+//! smartlint is a dependency-free semantic pass: a hand-rolled lexer
+//! feeds an item-level [`parser`], a whole-workspace call [`graph`] is
+//! built from the parsed items, and rule scope for the determinism
+//! rules is *derived* from reachability off the simulation roots
+//! rather than declared in path lists. On top of the graph runs a
+//! taint analysis (rule `T1`) that reports the exact call path from a
+//! root to every nondeterminism sink, plus worker-pool rules (`W1`,
+//! `F2`) over closures handed to spawn-reaching functions. See
+//! [`rules::RULES`] for the rule set and `DESIGN.md` for the
+//! rationale.
 //!
 //! Run it locally with:
 //!
@@ -25,14 +31,29 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod output;
+pub mod parser;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use baseline::{Baseline, BaselineEntry};
+pub use graph::DerivedScope;
 pub use rules::{analyze_source, rule_info, Finding, RuleInfo, RULES};
+
+/// One source file handed to [`analyze_file_set`]: a workspace-relative
+/// path (forward slashes) plus its contents.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Full file contents.
+    pub source: String,
+}
 
 /// The outcome of analyzing a workspace tree.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +65,9 @@ pub struct Analysis {
     pub files_scanned: usize,
     /// Baseline entries that no longer match any finding.
     pub stale_baseline: Vec<BaselineEntry>,
+    /// The scope the call graph derived (roots found, crate units the
+    /// determinism rules covered).
+    pub scope: DerivedScope,
 }
 
 impl Analysis {
@@ -56,23 +80,83 @@ impl Analysis {
 /// Directories (workspace-relative) that are never scanned.
 const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github"];
 
-/// Walks the workspace at `root`, analyzes every tracked `.rs` file
-/// and applies `baseline`. Files are visited in sorted path order so
-/// output (and JSON reports) are deterministic.
-pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> Result<Analysis, String> {
-    let mut files = Vec::new();
-    collect_rust_files(root, root, &mut files)?;
-    files.sort();
+/// Analyzes an explicit file set as one workspace: builds the call
+/// graph across all files, derives rule scope from root reachability,
+/// runs every rule, and applies `baseline`. `crate_names` maps a unit
+/// prefix (`crates/core/src/`) to the crate's library name from its
+/// `Cargo.toml` (pass an empty map when unknown; directory names still
+/// resolve).
+pub fn analyze_file_set(
+    files: &[SourceFile],
+    crate_names: &BTreeMap<String, String>,
+    baseline: &Baseline,
+) -> Analysis {
+    let (findings, scope) = rules::analyze_set(files, crate_names);
+    let mut analysis = Analysis {
+        findings,
+        files_scanned: files.len(),
+        stale_baseline: Vec::new(),
+        scope,
+    };
+    analysis.stale_baseline = baseline.apply(&mut analysis.findings);
+    analysis
+}
 
-    let mut analysis = Analysis::default();
-    for rel in &files {
+/// Walks the workspace at `root`, analyzes every tracked `.rs` file as
+/// one call graph and applies `baseline`. Files are visited in sorted
+/// path order so output (and JSON/SARIF reports) are deterministic.
+pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> Result<Analysis, String> {
+    let mut paths = Vec::new();
+    collect_rust_files(root, root, &mut paths)?;
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in &paths {
         let source =
             fs::read_to_string(root.join(rel)).map_err(|e| format!("failed to read {rel}: {e}"))?;
-        analysis.findings.extend(analyze_source(rel, &source));
-        analysis.files_scanned += 1;
+        files.push(SourceFile {
+            path: rel.clone(),
+            source,
+        });
     }
-    analysis.stale_baseline = baseline.apply(&mut analysis.findings);
-    Ok(analysis)
+    let crate_names = collect_crate_names(root)?;
+    Ok(analyze_file_set(&files, &crate_names, baseline))
+}
+
+/// Reads each `crates/*/Cargo.toml` and maps the unit prefix to the
+/// declared package name, so `use <lib_name>::…` paths resolve even
+/// when the library name differs from the directory name.
+fn collect_crate_names(root: &Path) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return Ok(out);
+    };
+    let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    dirs.sort();
+    for dir in dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let manifest = dir.join("Cargo.toml");
+        let Ok(text) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        // First `name = "..."` wins: it's the [package] name; the
+        // manifests here carry no other `name` keys before it.
+        let lib = text.lines().find_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("name")?.trim_start().strip_prefix('=')?;
+            let rest = rest.trim();
+            rest.strip_prefix('"')?
+                .strip_suffix('"')
+                .map(str::to_string)
+        });
+        if let Some(lib) = lib {
+            out.insert(format!("crates/{name}/src/"), lib);
+        }
+    }
+    Ok(out)
 }
 
 /// Recursively collects workspace-relative `.rs` paths (forward
@@ -130,5 +214,16 @@ mod tests {
                 "fixtures are skipped: {f:?}"
             );
         }
+    }
+
+    #[test]
+    fn crate_names_map_units_to_library_names() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let names = collect_crate_names(&root).expect("crates/ is readable");
+        assert_eq!(
+            names.get("crates/core/src/").map(String::as_str),
+            Some("smartbalance"),
+            "the core crate's library name differs from its directory"
+        );
     }
 }

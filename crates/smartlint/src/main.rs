@@ -1,36 +1,27 @@
-//! smartlint CLI: scan the workspace, print findings, emit JSON,
+//! smartlint CLI: scan the workspace, print findings, emit JSON/SARIF,
 //! maintain the baseline and gate CI.
 //!
 //! ```text
 //! smartlint [--root DIR] [--baseline FILE] [--deny] [--json FILE]
-//!           [--write-baseline] [--list-rules]
+//!           [--format text|json|sarif] [--out FILE]
+//!           [--write-baseline] [--prune-baseline] [--list-rules]
 //! ```
 //!
-//! Exit codes: `0` clean (or warn-only), `1` non-baselined findings
-//! under `--deny`, `2` usage or I/O error.
+//! Exit codes: `0` clean (or warn-only), `1` non-baselined findings or
+//! stale baseline entries under `--deny`, `2` usage or I/O error.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use serde::Serialize;
-use smartlint::{analyze_workspace, Analysis, Baseline, BaselineEntry, Finding, RULES};
+use smartlint::output::{render_json, render_sarif, Report, REPORT_VERSION};
+use smartlint::{analyze_workspace, Analysis, Baseline, RULES};
 
-/// The machine-readable report emitted by `--json`.
-#[derive(Debug, Serialize)]
-struct Report {
-    /// Report format version.
-    version: u32,
-    /// Number of `.rs` files scanned.
-    files_scanned: usize,
-    /// Every finding (baselined ones included, flagged as such).
-    findings: Vec<Finding>,
-    /// Findings not covered by the baseline.
-    new_count: usize,
-    /// Findings suppressed by the baseline.
-    baselined_count: usize,
-    /// Baseline entries that matched nothing and should be removed.
-    stale_baseline: Vec<BaselineEntry>,
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
 }
 
 struct Options {
@@ -38,7 +29,10 @@ struct Options {
     baseline: Option<PathBuf>,
     deny: bool,
     json: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
     write_baseline: bool,
+    prune_baseline: bool,
     list_rules: bool,
 }
 
@@ -48,7 +42,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         deny: false,
         json: None,
+        format: Format::Text,
+        out: None,
         write_baseline: false,
+        prune_baseline: false,
         list_rules: false,
     };
     let mut it = args.iter();
@@ -65,13 +62,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 ))
             }
             "--json" => opts.json = Some(PathBuf::from(it.next().ok_or("--json requires a file")?)),
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format requires text, json or sarif (got {other:?})"
+                        ))
+                    }
+                }
+            }
+            "--out" => opts.out = Some(PathBuf::from(it.next().ok_or("--out requires a file")?)),
             "--deny" => opts.deny = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--prune-baseline" => opts.prune_baseline = true,
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: smartlint [--root DIR] [--baseline FILE] [--deny] [--json FILE] \
-                     [--write-baseline] [--list-rules]"
+                     [--format text|json|sarif] [--out FILE] [--write-baseline] \
+                     [--prune-baseline] [--list-rules]"
                         .to_string(),
                 )
             }
@@ -95,6 +107,18 @@ fn find_root() -> Result<PathBuf, String> {
         if !dir.pop() {
             return Err("no workspace Cargo.toml found above the current directory".to_string());
         }
+    }
+}
+
+fn build_report(analysis: &Analysis) -> Report {
+    Report {
+        version: REPORT_VERSION,
+        files_scanned: analysis.files_scanned,
+        roots: analysis.scope.roots.clone(),
+        new_count: analysis.new_findings().count(),
+        baselined_count: analysis.findings.iter().filter(|f| f.baselined).count(),
+        stale_baseline: analysis.stale_baseline.clone(),
+        findings: analysis.findings.clone(),
     }
 }
 
@@ -136,27 +160,69 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    print_findings(&analysis);
+    if opts.prune_baseline {
+        // Keep exactly the entries that still match a finding: rebuild
+        // from the baselined findings, dropping the stale remainder.
+        let still_matched: Vec<_> = analysis
+            .findings
+            .iter()
+            .filter(|f| f.baselined)
+            .cloned()
+            .collect();
+        let pruned = Baseline::from_findings(&still_matched);
+        fs::write(&baseline_path, pruned.to_json()? + "\n")
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        println!(
+            "smartlint: pruned {} stale entr{}; {} kept in {}",
+            analysis.stale_baseline.len(),
+            if analysis.stale_baseline.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            pruned.entries.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
 
+    let rendered = match opts.format {
+        Format::Text => None,
+        Format::Json => Some(render_json(&build_report(&analysis))),
+        Format::Sarif => Some(render_sarif(&build_report(&analysis))),
+    };
+    match (&rendered, &opts.out) {
+        (Some(text), Some(path)) => {
+            fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+            print_findings(&analysis);
+        }
+        (Some(text), None) => print!("{text}"),
+        (None, _) => print_findings(&analysis),
+    }
+
+    // `--json FILE` predates `--format`; it always writes the JSON
+    // report to FILE regardless of the display format.
     if let Some(json_path) = &opts.json {
-        let report = Report {
-            version: 1,
-            files_scanned: analysis.files_scanned,
-            new_count: analysis.new_findings().count(),
-            baselined_count: analysis.findings.iter().filter(|f| f.baselined).count(),
-            findings: analysis.findings.clone(),
-            stale_baseline: analysis.stale_baseline.clone(),
-        };
-        let text =
-            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
-        fs::write(json_path, text + "\n")
+        fs::write(json_path, render_json(&build_report(&analysis)))
             .map_err(|e| format!("write {}: {e}", json_path.display()))?;
     }
 
-    let new_count = analysis.new_findings().count();
-    if opts.deny && new_count > 0 {
-        eprintln!("smartlint: {new_count} non-baselined finding(s) — failing (--deny)");
-        return Ok(ExitCode::FAILURE);
+    if opts.deny {
+        let new_count = analysis.new_findings().count();
+        let stale = analysis.stale_baseline.len();
+        if new_count > 0 || stale > 0 {
+            if new_count > 0 {
+                eprintln!("smartlint: {new_count} non-baselined finding(s) — failing (--deny)");
+            }
+            if stale > 0 {
+                eprintln!(
+                    "smartlint: {stale} stale baseline entr{} — run --prune-baseline and \
+                     commit the result (--deny)",
+                    if stale == 1 { "y" } else { "ies" }
+                );
+            }
+            return Ok(ExitCode::FAILURE);
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -171,6 +237,12 @@ fn print_findings(analysis: &Analysis) {
         if !f.excerpt.is_empty() {
             println!("    | {}", f.excerpt);
         }
+        if !f.trace.is_empty() {
+            println!("    call path:");
+            for step in &f.trace {
+                println!("      -> {step}");
+            }
+        }
     }
     for e in &analysis.stale_baseline {
         println!(
@@ -180,8 +252,9 @@ fn print_findings(analysis: &Analysis) {
     }
     let new_count = analysis.new_findings().count();
     println!(
-        "smartlint: {} file(s), {} finding(s) ({} new, {} baselined), {} stale baseline entr{}",
+        "smartlint: {} file(s), {} root(s), {} finding(s) ({} new, {} baselined), {} stale baseline entr{}",
         analysis.files_scanned,
+        analysis.scope.roots.len(),
         analysis.findings.len(),
         new_count,
         analysis.findings.len() - new_count,

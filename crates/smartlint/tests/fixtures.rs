@@ -149,3 +149,68 @@ fn annotations_suppress_only_their_own_line_and_rule() {
         .collect();
     assert_eq!(got, vec![("P1".to_string(), 4)]);
 }
+
+#[test]
+fn w1_bad_flags_shared_state_in_worker_closures() {
+    let got = findings("w1_bad.rs", "crates/core/src/pool.rs");
+    assert_eq!(
+        got,
+        vec![("W1".to_string(), 10), ("W1".to_string(), 12)],
+        "the atomic counter and the lock inside the spawned closure must both be flagged"
+    );
+}
+
+#[test]
+fn w1_good_is_clean() {
+    assert!(
+        findings("w1_good.rs", "crates/core/src/pool.rs").is_empty(),
+        "annotated merge points are the sanctioned surface"
+    );
+}
+
+#[test]
+fn f2_bad_flags_captured_accumulation_in_worker_closures() {
+    let got = findings("f2_bad.rs", "crates/core/src/pool.rs");
+    assert_eq!(
+        got,
+        vec![("F2".to_string(), 9), ("F2".to_string(), 19)],
+        "compound assignment to a captured f64 and a fold over captured data must both be flagged"
+    );
+}
+
+#[test]
+fn f2_good_is_clean() {
+    assert!(
+        findings("f2_good.rs", "crates/core/src/pool.rs").is_empty(),
+        "closure-local accumulators are fine"
+    );
+}
+
+#[test]
+fn t1_bad_reports_the_root_to_sink_call_path() {
+    let all = analyze_source("crates/kernelsim/src/system.rs", &fixture("t1_bad.rs"));
+    let got: Vec<(String, u32)> = all.iter().map(|f| (f.rule.clone(), f.line)).collect();
+    assert_eq!(
+        got,
+        vec![("D2".to_string(), 17), ("T1".to_string(), 17)],
+        "the sink line carries both the base rule and the taint path"
+    );
+    let t1 = &all[1];
+    assert_eq!(
+        t1.trace.len(),
+        3,
+        "run_epoch -> sense -> stamp: {:?}",
+        t1.trace
+    );
+    assert!(t1.trace[0].contains("System::run_epoch"), "{:?}", t1.trace);
+    assert!(t1.trace[1].contains("sense"), "{:?}", t1.trace);
+    assert!(t1.trace[2].contains("stamp"), "{:?}", t1.trace);
+}
+
+#[test]
+fn t1_good_is_clean() {
+    assert!(
+        findings("t1_good.rs", "crates/kernelsim/src/system.rs").is_empty(),
+        "the simulated clock is a pure function of explicit state"
+    );
+}
