@@ -31,6 +31,14 @@
 //! * `--scale <f>` / `--epochs <n>` — workload scale and epoch cap
 //!   overrides; CI uses them to make the kill-drill target slow enough
 //!   that SIGKILL reliably lands mid-flight.
+//! * `--metrics-addr <addr>` — serve `GET /metrics`, `GET /progress`
+//!   and `GET /healthz` on `addr` (e.g. `127.0.0.1:9464`, or port `0`
+//!   for an ephemeral port) while the campaign runs. The endpoint is
+//!   read-only: canonicalized reports are byte-identical with it on or
+//!   off.
+//! * `--metrics-addr-file <path>` — write the bound address (after
+//!   `:0` resolution) to `path`, for scripts that need to scrape an
+//!   ephemeral port.
 
 use campaign::{Campaign, CampaignConfig, CampaignJob, CampaignReport, CheckpointJournal};
 
@@ -135,6 +143,8 @@ fn main() {
         .unwrap_or(0);
     let scale = flag_value(&args, "--scale").and_then(|v| v.parse().ok());
     let epochs = flag_value(&args, "--epochs").and_then(|v| v.parse().ok());
+    let metrics_addr = flag_value(&args, "--metrics-addr");
+    let metrics_addr_file = flag_value(&args, "--metrics-addr-file");
 
     if !resume {
         let _ = std::fs::remove_file(&checkpoint_path);
@@ -167,6 +177,27 @@ fn main() {
     let hub = telemetry::shared();
     let mut campaign = Campaign::new(jobs, config, journal);
     campaign.attach_telemetry(hub.clone());
+
+    // The live observability plane: the runner publishes snapshots
+    // into the mailbox; obsd serves them from a detached thread. The
+    // server holds only Arc'd snapshots, so the campaign never blocks
+    // on a scraper.
+    let live_server = metrics_addr.map(|addr| {
+        let mailbox = std::sync::Arc::new(telemetry::SnapshotCell::fresh());
+        let server = match obsd::serve(std::sync::Arc::clone(&mailbox), &addr) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("campaign: cannot bind metrics endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("campaign: live endpoint on http://{}", server.bound_addr());
+        if let Some(path) = &metrics_addr_file {
+            std::fs::write(path, server.bound_addr().to_string()).expect("address file writes");
+        }
+        campaign.publish_snapshots(mailbox);
+        server
+    });
     let report = match campaign.run() {
         Ok(r) => r,
         Err(e) => {
@@ -207,6 +238,14 @@ fn main() {
     let json = serde_json::to_string_pretty(&bench).expect("report serializes");
     std::fs::write(&json_path, json).expect("report writes");
     eprintln!("campaign: report written to {json_path}");
+
+    if let Some(server) = live_server {
+        eprintln!(
+            "campaign: live endpoint served {} metric scrape(s)",
+            server.scrape_count()
+        );
+        server.request_shutdown();
+    }
 
     // An interrupted run exits 3 so scripts can distinguish "resume
     // me" from success (0) and hard failure (1).

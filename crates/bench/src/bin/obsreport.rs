@@ -29,6 +29,7 @@ use archsim::Platform;
 use kernelsim::{LoadBalancer, NullBalancer, System, SystemConfig, TraceLevel};
 use serde::Serialize;
 use smartbalance::{ExperimentSpec, ExperimentSuite, ObsSummary, Policy, SmartBalance};
+use telemetry::StageProfile;
 use workloads::SyntheticGenerator;
 
 /// Seed for the reference scenario's synthetic workload generator.
@@ -51,6 +52,8 @@ struct SuiteObsRow {
 /// wall-clock fields: the whole report is a pure function of the seeds.
 #[derive(Debug, Clone, Serialize)]
 struct ObsReport {
+    /// Report schema version. v2 adds the rebalance stage profile.
+    schema: u32,
     /// `true` when produced by a `--smoke` run.
     smoke: bool,
     /// Epochs in the reference scenario.
@@ -65,6 +68,10 @@ struct ObsReport {
     trace_events: usize,
     /// Scheduler events overwritten once the ring filled.
     trace_dropped: u64,
+    /// Per-stage rebalance pipeline profile (sense → predict → anneal
+    /// → exchange → apply), in canonical stage order. Deterministic
+    /// invocation/work counters only — never wall-clock.
+    stages: Vec<StageProfile>,
     /// Observed suite grid, in job order.
     suite: Vec<SuiteObsRow>,
 }
@@ -72,6 +79,7 @@ struct ObsReport {
 /// Everything the observed reference scenario produces.
 struct ScenarioOutput {
     summary: ObsSummary,
+    stages: Vec<StageProfile>,
     jsonl: String,
     prometheus: String,
     chrome_json: String,
@@ -115,6 +123,7 @@ fn run_observed(epochs: u64, tasks: usize, trace_capacity: usize) -> ScenarioOut
         .collect();
     ScenarioOutput {
         summary: hub.summary(),
+        stages: hub.stage_profile(),
         jsonl: hub.jsonl(),
         prometheus: hub.registry().prometheus_text(),
         chrome_json: telemetry::chrome_trace_json(&chrome),
@@ -215,6 +224,7 @@ fn main() {
     let suite = run_suite(suite_epochs);
 
     let report = ObsReport {
+        schema: 2,
         smoke,
         epochs,
         tasks,
@@ -222,6 +232,7 @@ fn main() {
         summary: scenario.summary,
         trace_events: scenario.trace_events,
         trace_dropped: scenario.trace_dropped,
+        stages: scenario.stages,
         suite,
     };
 
@@ -250,6 +261,12 @@ fn main() {
         "  trace            : level {}, {} events retained, {} dropped",
         report.trace_level, report.trace_events, report.trace_dropped
     );
+    for stage in &report.stages {
+        println!(
+            "  stage {:<10} : {:>6} invocations, {:>12} work units",
+            stage.stage, stage.invocations, stage.work
+        );
+    }
     for line in &scenario.event_tail {
         println!("    {line}");
     }

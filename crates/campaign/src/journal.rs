@@ -18,6 +18,8 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 use smartbalance::JobResult;
 
+use crate::flight::{AttemptOutcome, FlightRecord};
+
 /// One terminal cell outcome, as stored on disk (one JSON line each).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum JournalRecord {
@@ -43,6 +45,13 @@ pub enum JournalRecord {
         attempts: u32,
         /// The final failure: panic payload or budget violation.
         error: String,
+        /// Every rung of the retry ladder, in attempt order. `None`
+        /// only when the record was replayed from a pre-v2 journal
+        /// (the mini-serde deserializer maps a missing key to `None`).
+        attempts_log: Option<Vec<AttemptOutcome>>,
+        /// Flight-recorder forensics from the final failed attempt.
+        /// `None` only on records replayed from a pre-v2 journal.
+        flight: Option<Box<FlightRecord>>,
     },
 }
 
@@ -161,8 +170,9 @@ impl CheckpointJournal {
     /// writes the whole byte string to a `.tmp` sibling, syncs it to
     /// stable storage, then renames it over the live path. The rename
     /// is the commit point — a crash before it leaves the previous
-    /// journal intact, a crash after it leaves the new one.
-    pub fn flush(&self) -> io::Result<()> {
+    /// journal intact, a crash after it leaves the new one. Returns the
+    /// number of bytes committed (feeds the live plane's flush stats).
+    pub fn flush(&self) -> io::Result<usize> {
         let mut buf = String::new();
         for record in self.records.values() {
             let line = serde_json::to_string(record).map_err(io::Error::other)?;
@@ -177,7 +187,8 @@ impl CheckpointJournal {
             file.write_all(buf.as_bytes())?;
             file.sync_all()?;
         }
-        fs::rename(&tmp, &self.path)
+        fs::rename(&tmp, &self.path)?;
+        Ok(buf.len())
     }
 }
 
@@ -199,6 +210,21 @@ mod tests {
             index,
             attempts: 3,
             error: "boom".to_owned(),
+            attempts_log: Some(vec![
+                AttemptOutcome {
+                    attempt: 1,
+                    error: "boom".to_owned(),
+                },
+                AttemptOutcome {
+                    attempt: 2,
+                    error: "boom".to_owned(),
+                },
+                AttemptOutcome {
+                    attempt: 3,
+                    error: "boom".to_owned(),
+                },
+            ]),
+            flight: Some(Box::new(FlightRecord::default())),
         }
     }
 
@@ -240,6 +266,52 @@ mod tests {
         let j2 = CheckpointJournal::load(&path).expect("reload tolerates tail");
         assert_eq!(j2.len(), 1, "the intact record survives");
         assert_eq!(j2.skipped_lines(), 1, "the torn line is counted");
+    }
+
+    #[test]
+    fn pre_v2_quarantine_lines_still_parse() {
+        // A Quarantined line exactly as schema-1 journals wrote it: no
+        // attempts_log, no flight. Resume must replay it rather than
+        // recompute the cell.
+        let line =
+            r#"{"Quarantined":{"id":"0123456789abcdef","index":4,"attempts":3,"error":"boom"}}"#;
+        let rec: JournalRecord = serde_json::from_str(line).expect("old line parses");
+        match rec {
+            JournalRecord::Quarantined {
+                attempts,
+                attempts_log,
+                flight,
+                ..
+            } => {
+                assert_eq!(attempts, 3);
+                assert!(attempts_log.is_none(), "missing key maps to None");
+                assert!(flight.is_none(), "missing key maps to None");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_forensics_round_trip_through_disk() {
+        let path = temp_journal("forensics.jsonl");
+        let _ = fs::remove_file(&path);
+        let mut j = CheckpointJournal::load(&path).expect("load empty");
+        j.insert(record("ffff", 2));
+        j.flush().expect("flush");
+        let j2 = CheckpointJournal::load(&path).expect("reload");
+        match j2.get("ffff").expect("record present") {
+            JournalRecord::Quarantined {
+                attempts_log: Some(log),
+                flight: Some(flight),
+                ..
+            } => {
+                assert_eq!(log.len(), 3);
+                assert_eq!(log[0].attempt, 1);
+                assert_eq!(log[2].error, "boom");
+                assert!(flight.spans.is_empty());
+            }
+            other => panic!("forensics lost in round trip: {other:?}"),
+        }
     }
 
     #[test]

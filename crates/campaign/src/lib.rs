@@ -66,11 +66,13 @@
 #![deny(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod flight;
 pub mod job;
 pub mod journal;
 pub mod report;
 pub mod runner;
 
+pub use flight::{AttemptOutcome, FlightRecord};
 pub use job::{job_id, CampaignJob};
 pub use journal::{CheckpointJournal, JournalRecord};
 pub use report::{CampaignReport, CompletedCell, PoisonedCell, CAMPAIGN_SCHEMA_VERSION};

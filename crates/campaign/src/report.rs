@@ -3,8 +3,12 @@
 use serde::{Deserialize, Serialize};
 use smartbalance::JobResult;
 
+use crate::flight::{AttemptOutcome, FlightRecord};
+
 /// Schema version stamped into every report (and BENCH_campaign.json).
-pub const CAMPAIGN_SCHEMA_VERSION: u32 = 1;
+/// v2: quarantined cells carry the retry ladder's per-attempt outcomes
+/// and the flight recorder's last-N epoch spans.
+pub const CAMPAIGN_SCHEMA_VERSION: u32 = 2;
 
 /// One cell that ran to completion.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,6 +34,14 @@ pub struct PoisonedCell {
     pub attempts: u32,
     /// The final failure: panic payload or budget violation.
     pub error: String,
+    /// Every rung of the retry ladder, in attempt order. `None` only
+    /// for cells replayed from a pre-v2 journal.
+    pub attempts_log: Option<Vec<AttemptOutcome>>,
+    /// Flight-recorder forensics from the final failed attempt: the
+    /// last-N epoch spans (sense health, degrade rung, annealer
+    /// trajectory). `None` only for cells replayed from a pre-v2
+    /// journal.
+    pub flight: Option<FlightRecord>,
 }
 
 /// The outcome of one [`crate::Campaign::run`] call: every cell of the

@@ -4,10 +4,13 @@
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use smartbalance::{default_workers, panic_message, parallel_indexed, JobResult};
+use telemetry::live::{CampaignProgress, ObsSnapshot, SnapshotCell};
 use telemetry::TelemetryHandle;
 
+use crate::flight::{AttemptOutcome, FlightRecord};
 use crate::job::CampaignJob;
 use crate::journal::{CheckpointJournal, JournalRecord};
 use crate::report::{CampaignReport, CompletedCell, PoisonedCell, CAMPAIGN_SCHEMA_VERSION};
@@ -49,6 +52,11 @@ pub struct CampaignConfig {
     /// interrupted — the deterministic stand-in for "the process died
     /// mid-campaign" in tests and the CI kill-resume drill.
     pub max_cells_this_run: Option<usize>,
+    /// Flight-recorder depth: each attempt retains at most this many
+    /// recent epoch spans; the final failed attempt's ring lands in the
+    /// quarantine record. Purely forensic — the ring caps memory, it
+    /// never changes what executes.
+    pub flight_recorder_epochs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -61,6 +69,7 @@ impl Default for CampaignConfig {
             workers: 0,
             stop_file: None,
             max_cells_this_run: None,
+            flight_recorder_epochs: 32,
         }
     }
 }
@@ -74,6 +83,7 @@ pub struct Campaign {
     config: CampaignConfig,
     journal: CheckpointJournal,
     telemetry: Option<TelemetryHandle>,
+    snapshots: Option<Arc<SnapshotCell>>,
 }
 
 impl Campaign {
@@ -85,14 +95,25 @@ impl Campaign {
             config,
             journal,
             telemetry: None,
+            snapshots: None,
         }
     }
 
     /// Attaches a telemetry hub; the runner records the
     /// `sb_campaign_*` counters (completed/retried/quarantined/
-    /// resumed) on it from the orchestrating thread.
+    /// resumed) on it from the orchestrating thread, incrementally
+    /// after every cell.
     pub fn attach_telemetry(&mut self, hub: TelemetryHandle) {
         self.telemetry = Some(hub);
+    }
+
+    /// Attaches a live-snapshot mailbox: the runner publishes an
+    /// [`ObsSnapshot`] (progress + rendered Prometheus page) into it at
+    /// start-up, after every resolved cell and after every journal
+    /// flush. The publish is a single `Arc` swap — the run never blocks
+    /// on whoever reads the mailbox.
+    pub fn publish_snapshots(&mut self, cell: Arc<SnapshotCell>) {
+        self.snapshots = Some(cell);
     }
 
     /// Read access to the checkpoint journal (tests and reporting).
@@ -106,6 +127,9 @@ impl Campaign {
     /// cells are indistinguishable in the output. Returns `Err` only
     /// on journal I/O failure; cell failures are data, not errors.
     pub fn run(&mut self) -> io::Result<CampaignReport> {
+        if let Some(hub) = &self.telemetry {
+            hub.borrow_mut().record_campaign_started();
+        }
         let ids: Vec<String> = self.jobs.iter().map(CampaignJob::id).collect();
         let pending: Vec<usize> = (0..self.jobs.len())
             .filter(|&i| !self.journal.contains(&ids[i]))
@@ -117,6 +141,9 @@ impl Campaign {
                     .record_campaign_resumed(resumed_cells as u64);
             }
         }
+
+        let mut progress = self.initial_progress(&ids, pending.len(), resumed_cells);
+        self.publish_progress(&progress);
 
         let workers = if self.config.workers == 0 {
             default_workers()
@@ -133,6 +160,8 @@ impl Campaign {
             }
             let take = batch.len().min(cell_budget - executed_cells);
             let batch = &batch[..take];
+            progress.current_cells = batch.iter().map(|&i| ids[i].clone()).collect();
+            self.publish_progress(&progress);
             let jobs = &self.jobs;
             let ids_ref = &ids;
             let config = &self.config;
@@ -152,14 +181,73 @@ impl Campaign {
                         }
                     }
                 }
+                fold_into_progress(&mut progress, &record);
                 self.journal.insert(record);
+                self.publish_progress(&progress);
             }
             executed_cells += batch.len();
-            self.journal.flush()?;
+            let flushed_bytes = self.journal.flush()?;
+            progress.journal_flushes += 1;
+            progress.journal_bytes_last = flushed_bytes as u64;
+            progress.journal_records = self.journal.len() as u64;
+            self.publish_progress(&progress);
         }
 
+        progress.current_cells.clear();
+        self.publish_progress(&progress);
         let interrupted = executed_cells < pending.len();
         Ok(self.build_report(interrupted, resumed_cells, executed_cells))
+    }
+
+    /// The progress payload at the start of a run: grid size, resumed
+    /// outcomes replayed from the journal, and journal load state.
+    fn initial_progress(
+        &self,
+        ids: &[String],
+        pending: usize,
+        resumed_cells: usize,
+    ) -> CampaignProgress {
+        let mut progress = CampaignProgress {
+            cells_total: self.jobs.len() as u64,
+            cells_pending: pending as u64,
+            resumed_cells: resumed_cells as u64,
+            journal_records: self.journal.len() as u64,
+            journal_skipped_lines: self.journal.skipped_lines() as u64,
+            ..CampaignProgress::default()
+        };
+        for id in ids {
+            match self.journal.get(id) {
+                Some(JournalRecord::Completed { attempts, .. }) => {
+                    progress.cells_completed += 1;
+                    progress.retries_total += u64::from(attempts.saturating_sub(1));
+                }
+                Some(JournalRecord::Quarantined { attempts, .. }) => {
+                    progress.cells_quarantined += 1;
+                    progress.retries_total += u64::from(attempts.saturating_sub(1));
+                }
+                None => {}
+            }
+        }
+        progress
+    }
+
+    /// Publishes the current progress (plus a freshly rendered
+    /// Prometheus page from the attached hub) into the snapshot
+    /// mailbox, if one is attached. A no-op otherwise.
+    fn publish_progress(&self, progress: &CampaignProgress) {
+        let Some(cell) = &self.snapshots else {
+            return;
+        };
+        let mut progress = progress.clone();
+        progress.finalize_eta();
+        let prometheus = match &self.telemetry {
+            Some(hub) => hub.borrow().registry().prometheus_text(),
+            None => String::new(),
+        };
+        cell.publish(ObsSnapshot {
+            progress,
+            prometheus,
+        });
     }
 
     fn stop_requested(&self) -> bool {
@@ -198,6 +286,8 @@ impl Campaign {
                     index,
                     attempts,
                     error,
+                    attempts_log,
+                    flight,
                 }) => {
                     retries_total += u64::from(attempts.saturating_sub(1));
                     poisoned.push(PoisonedCell {
@@ -205,6 +295,8 @@ impl Campaign {
                         index: *index,
                         attempts: *attempts,
                         error: error.clone(),
+                        attempts_log: attempts_log.clone(),
+                        flight: flight.as_deref().cloned(),
                     });
                 }
                 None => {}
@@ -223,17 +315,46 @@ impl Campaign {
     }
 }
 
+/// Folds one freshly resolved cell into the live progress payload.
+fn fold_into_progress(progress: &mut CampaignProgress, record: &JournalRecord) {
+    progress.executed_this_run += 1;
+    progress.cells_pending = progress.cells_pending.saturating_sub(1);
+    progress.retries_total += u64::from(record.attempts().saturating_sub(1));
+    progress.last_cell_id = record.id().to_owned();
+    match record {
+        JournalRecord::Completed { result, .. } => {
+            progress.cells_completed += 1;
+            progress.wall_s_sum += result.wall_s;
+            progress.wall_cells += 1;
+        }
+        JournalRecord::Quarantined { .. } => {
+            progress.cells_quarantined += 1;
+        }
+    }
+}
+
 /// Drives one cell to a terminal outcome: panic isolation, the
-/// deterministic budget watchdog, and the bounded retry ladder.
+/// deterministic budget watchdog, and the bounded retry ladder. Every
+/// attempt runs with a capacity-capped telemetry hub (the flight
+/// recorder); attaching one is bit-transparent, so results are
+/// byte-identical to an unrecorded run, and on quarantine the final
+/// attempt's ring plus the full attempt log land in the record.
 fn execute_cell(job: &CampaignJob, id: &str, config: &CampaignConfig) -> JournalRecord {
     let mut suite_job = job.to_suite_job();
     if let Some(cap) = config.max_epochs_per_job {
         suite_job.spec.max_epochs = suite_job.spec.max_epochs.min(cap);
     }
     let max_attempts = config.max_retries.saturating_add(1);
-    let mut last_error = String::new();
+    let mut attempts_log: Vec<AttemptOutcome> = Vec::new();
+    let mut last_flight = FlightRecord::default();
     for attempt in 1..=max_attempts {
-        match catch_unwind(AssertUnwindSafe(|| suite_job.execute(job.index))) {
+        let hub = telemetry::shared();
+        hub.borrow_mut()
+            .set_span_capacity(config.flight_recorder_epochs);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            suite_job.execute_recorded(job.index, &hub)
+        }));
+        let error = match outcome {
             Ok(result) => match budget_violation(&result, config) {
                 None => {
                     return JournalRecord::Completed {
@@ -243,16 +364,24 @@ fn execute_cell(job: &CampaignJob, id: &str, config: &CampaignConfig) -> Journal
                         result: Box::new(result),
                     }
                 }
-                Some(error) => last_error = error,
+                Some(error) => error,
             },
-            Err(payload) => last_error = panic_message(payload.as_ref()),
-        }
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        last_flight = FlightRecord::from_hub(&hub.borrow());
+        attempts_log.push(AttemptOutcome { attempt, error });
     }
+    let error = attempts_log
+        .last()
+        .map(|a| a.error.clone())
+        .unwrap_or_default();
     JournalRecord::Quarantined {
         id: id.to_owned(),
         index: job.index,
         attempts: max_attempts,
-        error: last_error,
+        error,
+        attempts_log: Some(attempts_log),
+        flight: Some(Box::new(last_flight)),
     }
 }
 

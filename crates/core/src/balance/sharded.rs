@@ -424,6 +424,13 @@ impl ShardedBalancer {
             + exchange_moves;
         if let Some(tel) = self.inner.telemetry_handle() {
             let mut tel = tel.borrow_mut();
+            // Predict-stage work = per-cluster matrix cells actually
+            // materialized: Σ rows × columns over the solved problems.
+            let predict_cells: u64 = problems
+                .iter()
+                .map(|p| (p.rows.len() * p.columns.len()) as u64)
+                .sum();
+            tel.record_stage("predict", predict_cells);
             tel.record_anneal(total_iterations, total_accepted, initial_total, final_total);
             for (p, out) in problems.iter().zip(&outcomes) {
                 tel.record_shard_anneal(

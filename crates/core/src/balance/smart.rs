@@ -392,6 +392,9 @@ impl SmartBalance {
         }
         if let Some(tel) = &self.telemetry {
             let mut tel = tel.borrow_mut();
+            // Predict-stage work = the dense S/P matrices just built:
+            // one cell per (thread, core) pair.
+            tel.record_stage("predict", (senses.len() * platform.num_cores()) as u64);
             tel.record_anneal(
                 u64::from(outcome.iterations),
                 u64::from(outcome.accepted_moves),

@@ -268,18 +268,56 @@ pub fn run_experiment_with(
     balancer: &mut dyn LoadBalancer,
     options: RunOptions,
 ) -> RunOutcome {
+    let hub = if options.observe {
+        Some(telemetry::shared())
+    } else {
+        None
+    };
+    let (result, trace) = run_experiment_core(spec, balancer, options, hub.as_ref());
+    let observability = hub.map(|hub| hub.borrow().capture());
+    RunOutcome {
+        result,
+        trace,
+        observability,
+    }
+}
+
+/// Like [`run_experiment_with`], but records into a caller-owned
+/// telemetry hub instead of creating one per run. The caller keeps the
+/// handle — and with it the spans, registry and flight-recorder ring —
+/// so [`RunOutcome::observability`] stays `None` here (capture from the
+/// hub when the run is done). Attaching a hub never perturbs the run:
+/// the result is bit-identical with or without one.
+pub fn run_experiment_into_hub(
+    spec: &ExperimentSpec,
+    balancer: &mut dyn LoadBalancer,
+    options: RunOptions,
+    hub: &telemetry::TelemetryHandle,
+) -> RunOutcome {
+    let (result, trace) = run_experiment_core(spec, balancer, options, Some(hub));
+    RunOutcome {
+        result,
+        trace,
+        observability: None,
+    }
+}
+
+/// The shared run loop behind both entry points: wires the optional
+/// hub and tracer into a fresh [`System`], runs to completion and
+/// collects the measurements.
+fn run_experiment_core(
+    spec: &ExperimentSpec,
+    balancer: &mut dyn LoadBalancer,
+    options: RunOptions,
+    hub: Option<&telemetry::TelemetryHandle>,
+) -> (RunResult, Option<TraceCapture>) {
     let trace = options.trace.filter(|req| req.level != TraceLevel::Off);
     let mut sys_config = spec.sys_config;
     if let Some(engine) = options.engine {
         sys_config.engine = engine;
     }
     let mut sys = System::new(spec.platform.clone(), sys_config);
-    let hub = if options.observe {
-        Some(telemetry::shared())
-    } else {
-        None
-    };
-    if let Some(hub) = &hub {
+    if let Some(hub) = hub {
         sys.set_telemetry(hub.clone());
         balancer.attach_telemetry(hub);
     }
@@ -296,7 +334,6 @@ pub fn run_experiment_with(
         events: sys.tracer().events().len(),
         dropped: sys.tracer().dropped(),
     });
-    let observability = hub.map(|hub| hub.borrow().capture());
     let result = RunResult {
         experiment: spec.name.clone(),
         policy: balancer.name().to_owned(),
@@ -304,11 +341,7 @@ pub fn run_experiment_with(
         completed: stats.live_tasks == 0,
         stats,
     };
-    RunOutcome {
-        result,
-        trace: capture,
-        observability,
-    }
+    (result, capture)
 }
 
 /// Runs `spec` under each policy and returns the results in the same

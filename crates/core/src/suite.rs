@@ -41,10 +41,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::SmartBalanceConfig;
 use crate::runner::{
-    run_experiment_with, ExperimentSpec, Policy, RunOptions, RunResult, TraceCapture, TraceRequest,
+    run_experiment_into_hub, run_experiment_with, ExperimentSpec, Policy, RunOptions, RunResult,
+    TraceCapture, TraceRequest,
 };
 use crate::shard::ShardConfig;
-use telemetry::ObsCapture;
+use telemetry::{ObsCapture, TelemetryHandle};
 
 /// splitmix64: the standard 64-bit seed expander; maps a job index to
 /// an independent, well-mixed seed. Also reused by the sharded
@@ -151,6 +152,38 @@ impl SuiteJob {
                 observe: self.observe,
                 engine: self.engine,
             },
+        );
+        JobResult {
+            job_index: index,
+            seed: self.seed,
+            policy: self.policy,
+            result: outcome.result,
+            trace: outcome.trace,
+            obs: outcome.observability,
+            wall_s: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// [`SuiteJob::execute`], but recording into a caller-owned
+    /// telemetry hub — the campaign runner's flight-recorder hook. The
+    /// hub keeps accumulating across the run (cap it with
+    /// `set_span_capacity` for a bounded ring); `JobResult::obs` stays
+    /// `None` because the caller already holds the richer handle.
+    /// Attach is bit-transparent, so the measurements are byte-identical
+    /// to a plain [`SuiteJob::execute`] of the same job.
+    pub fn execute_recorded(&self, index: usize, hub: &TelemetryHandle) -> JobResult {
+        // smartlint: allow(nondeterminism, "feeds only wall_s execution metadata, zeroed by canonicalized() before any fingerprint")
+        let start = Instant::now();
+        let mut balancer = self.build_balancer();
+        let outcome = run_experiment_into_hub(
+            &self.spec,
+            balancer.as_mut(),
+            RunOptions {
+                trace: self.trace,
+                observe: self.observe,
+                engine: self.engine,
+            },
+            hub,
         );
         JobResult {
             job_index: index,

@@ -151,6 +151,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/smartlint/src/",
     "crates/telemetry/src/",
     "crates/campaign/src/",
+    "crates/obsd/src/",
 ];
 
 /// Counter/energy accounting files where every numeric `as` cast must

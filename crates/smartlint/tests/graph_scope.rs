@@ -71,6 +71,45 @@ fn derived_scope_is_a_superset_of_the_retired_hand_pinned_lists() {
 }
 
 #[test]
+fn live_observability_plane_stays_outside_sim_scope() {
+    // The obsd HTTP server and its wall-clock uptime timer live on a
+    // scrape-serving thread that no simulation root ever calls into.
+    // The derived scope must prove that: if obsd ever leaked into the
+    // D1/D2 units, the endpoint's `Instant::now()` would (correctly)
+    // start failing the determinism rules.
+    let analysis = analyze();
+    let scope = &analysis.scope;
+    assert!(
+        !scope.d_units.contains("crates/obsd/src/"),
+        "obsd must not be reachable from any simulation root; d_units = {:?}",
+        scope.d_units
+    );
+    assert!(
+        !scope.d1_applies("crates/obsd/src/lib.rs"),
+        "D1 must not apply to the scrape server"
+    );
+    assert!(
+        !scope.d2_applies("crates/obsd/src/lib.rs"),
+        "D2 must not apply to the scrape server (it owns the uptime clock)"
+    );
+    let obsd_findings: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/obsd/"))
+        .collect();
+    assert!(
+        obsd_findings.is_empty(),
+        "the live plane must lint clean: {obsd_findings:?}"
+    );
+    assert_eq!(
+        analysis.new_findings().count(),
+        0,
+        "the observability plane introduces no new findings anywhere: {:?}",
+        analysis.new_findings().collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn every_named_simulation_root_is_discovered() {
     let analysis = analyze();
     let roots = &analysis.scope.roots;

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod export;
+pub mod live;
 pub mod registry;
 pub mod span;
 
@@ -38,8 +39,13 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 pub use export::{chrome_trace_json, ns_to_us, spans_jsonl, ChromeEvent};
+pub use live::{CampaignProgress, ObsSnapshot, SnapshotCell};
 pub use registry::{labeled, Histogram, MetricsRegistry};
 pub use span::EpochObs;
+
+/// The rebalance pipeline stages profiled by [`Telemetry::record_stage`],
+/// in pipeline order.
+pub const STAGES: &[&str] = &["sense", "predict", "anneal", "exchange", "apply"];
 
 /// Shared handle to one [`Telemetry`] hub. The system and the balancer
 /// each hold a clone and borrow it at disjoint points of `run_epoch`
@@ -70,6 +76,8 @@ struct Prediction {
 pub struct Telemetry {
     registry: MetricsRegistry,
     spans: Vec<EpochObs>,
+    span_capacity: Option<usize>,
+    dropped_spans: u64,
     current: EpochObs,
     prev_mode: String,
     prev_slices: u64,
@@ -87,6 +95,71 @@ impl Telemetry {
     /// An empty hub.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Caps the retained span history at `capacity` epochs, turning the
+    /// span store into a flight-recorder ring: once full, closing an
+    /// epoch evicts the oldest span and bumps [`Telemetry::dropped_spans`].
+    /// Registry series and the prediction audit are unaffected — only
+    /// the per-epoch history is bounded. Uncapped by default.
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        self.span_capacity = Some(capacity);
+        self.evict_over_capacity();
+    }
+
+    /// Spans evicted by the capacity ring since attach.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+
+    fn evict_over_capacity(&mut self) {
+        let Some(cap) = self.span_capacity else {
+            return;
+        };
+        if self.spans.len() > cap {
+            let excess = self.spans.len() - cap;
+            self.spans.drain(..excess);
+            self.dropped_spans += excess as u64;
+        }
+    }
+
+    /// Credits `work` units to a named rebalance pipeline stage (one of
+    /// [`STAGES`]). Stage accounting is deterministic sim-side work
+    /// counting — evaluated candidates, annealer iterations, matrix
+    /// cells — never wall time. The sense/anneal/exchange/apply stages
+    /// are credited internally by their respective `record_*` methods;
+    /// balancers credit `predict` explicitly with the number of
+    /// predictor-matrix cells they evaluated.
+    pub fn record_stage(&mut self, stage: &str, work: u64) {
+        if stage == "predict" {
+            self.current.stage_predict_cells += work;
+        }
+        let label = [("stage", stage)];
+        self.registry
+            .counter_add(&labeled("sb_stage_invocations_total", &label), 1);
+        self.registry
+            .counter_add(&labeled("sb_stage_work_total", &label), work);
+    }
+
+    /// Per-stage invocation and work totals for every profiled stage,
+    /// in [`STAGES`] order (all-zero rows included so the schema is
+    /// stable across runs and policies).
+    pub fn stage_profile(&self) -> Vec<StageProfile> {
+        STAGES
+            .iter()
+            .map(|stage| {
+                let label = [("stage", *stage)];
+                StageProfile {
+                    stage: (*stage).to_string(),
+                    invocations: self
+                        .registry
+                        .counter(&labeled("sb_stage_invocations_total", &label)),
+                    work: self
+                        .registry
+                        .counter(&labeled("sb_stage_work_total", &label)),
+                }
+            })
+            .collect()
     }
 
     /// Opens the span for `epoch` at simulation time `now_ns`.
@@ -120,6 +193,7 @@ impl Telemetry {
             .counter_add("sb_sense_candidates_total", candidates);
         self.registry.counter_add("sb_sense_blind_total", blind);
         self.registry.counter_add("sb_sense_invalid_total", invalid);
+        self.record_stage("sense", candidates);
     }
 
     /// Records the degrade-ladder rung chosen for the open span.
@@ -156,6 +230,7 @@ impl Telemetry {
         self.registry
             .counter_add("sb_anneal_accepted_total", accepted);
         self.registry.gauge_set("sb_anneal_objective", objective);
+        self.record_stage("anneal", iterations);
     }
 
     /// Records one cluster-local annealer's outcome for the open span
@@ -178,6 +253,7 @@ impl Telemetry {
             .counter_add(&labeled("sb_shard_anneal_accepted_total", &label), accepted);
         self.registry
             .gauge_set(&labeled("sb_shard_anneal_objective", &label), objective);
+        self.record_stage("anneal", iterations);
     }
 
     /// Records the sharded balancer's global exchange stage for the
@@ -193,6 +269,7 @@ impl Telemetry {
             .counter_add("sb_shard_exchange_candidates_total", candidates);
         self.registry
             .counter_add("sb_shard_exchange_moves_total", moves);
+        self.record_stage("exchange", candidates);
     }
 
     /// Stores the model's one-epoch-ahead prediction for `task`: it was
@@ -252,6 +329,23 @@ impl Telemetry {
                 *count,
             );
         }
+        self.record_stage("apply", requested);
+    }
+
+    /// Registers every campaign lifecycle counter at zero. Called once
+    /// at run start so the very first `/metrics` scrape already
+    /// exposes the full `sb_campaign_*` series set — scrapers never
+    /// have to distinguish "no cells resolved yet" from "counter does
+    /// not exist".
+    pub fn record_campaign_started(&mut self) {
+        for key in [
+            "sb_campaign_completed_total",
+            "sb_campaign_quarantined_total",
+            "sb_campaign_retried_total",
+            "sb_campaign_resumed_total",
+        ] {
+            self.registry.counter_add(key, 0);
+        }
     }
 
     /// Records a campaign cell that ran to completion, after
@@ -308,6 +402,7 @@ impl Telemetry {
             .counter_add("sb_estimate_cache_misses_total", c.cache_misses);
         let finished = std::mem::take(&mut self.current);
         self.spans.push(finished);
+        self.evict_over_capacity();
     }
 
     /// Every closed span, in epoch order.
@@ -401,6 +496,19 @@ impl Telemetry {
             prometheus: self.registry.prometheus_text(),
         }
     }
+}
+
+/// Deterministic work accounting for one rebalance pipeline stage —
+/// one row per [`STAGES`] entry in `BENCH_obs.json`'s stage profile.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage name (`sense`, `predict`, `anneal`, `exchange`, `apply`).
+    pub stage: String,
+    /// Times the stage was credited work.
+    pub invocations: u64,
+    /// Stage-specific work units: sense candidates, predictor-matrix
+    /// cells, annealer iterations, exchange candidates, apply requests.
+    pub work: u64,
 }
 
 /// Controller-health figures aggregated over a run — the payload CI
@@ -543,6 +651,54 @@ mod tests {
         assert!(text.contains("sb_campaign_retried_total 5"), "{text}");
         assert!(text.contains("sb_campaign_quarantined_total 1"), "{text}");
         assert!(text.contains("sb_campaign_resumed_total 7"), "{text}");
+    }
+
+    #[test]
+    fn stage_profile_accumulates_pipeline_work() {
+        let mut t = Telemetry::new();
+        run_two_epochs(&mut t);
+        t.record_stage("predict", 16);
+        let profile = t.stage_profile();
+        let names: Vec<&str> = profile.iter().map(|p| p.stage.as_str()).collect();
+        assert_eq!(names, STAGES, "stable row order, zero rows included");
+        let by_name = |n: &str| {
+            profile
+                .iter()
+                .find(|p| p.stage == n)
+                .expect("stage present")
+                .clone()
+        };
+        assert_eq!(by_name("sense").work, 4, "sense work = candidates");
+        assert_eq!(by_name("anneal").work, 100, "anneal work = iterations");
+        assert_eq!(by_name("predict").work, 16);
+        assert_eq!(by_name("predict").invocations, 1);
+        assert_eq!(by_name("apply").work, 4, "apply work = requested");
+        assert_eq!(by_name("exchange").work, 0, "flat run: exchange idle");
+        let text = t.registry().prometheus_text();
+        assert!(
+            text.contains("sb_stage_work_total{stage=\"anneal\"} 100"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn span_capacity_turns_history_into_a_ring() {
+        let mut t = Telemetry::new();
+        t.set_span_capacity(2);
+        for epoch in 0..5 {
+            t.epoch_start(epoch, epoch * 60);
+            t.epoch_end(epoch * 60 + 60, 0, 0, 0);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2, "ring holds the newest N spans");
+        assert_eq!(spans[0].epoch, 3);
+        assert_eq!(spans[1].epoch, 4);
+        assert_eq!(t.dropped_spans(), 3);
+        let text = t.registry().prometheus_text();
+        assert!(
+            text.contains("sb_epochs_total 5"),
+            "registry series stay cumulative: {text}"
+        );
     }
 
     #[test]

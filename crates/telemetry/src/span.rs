@@ -62,6 +62,11 @@ pub struct EpochObs {
     /// Objective of the returned allocation.
     pub anneal_objective: f64,
 
+    /// Predictor-matrix cells evaluated this epoch (threads × cores
+    /// summed over whatever problems the balancer solved; 0 when the
+    /// predict stage was skipped or degraded away).
+    pub stage_predict_cells: u64,
+
     /// Clusters annealed this epoch (0 under the flat balancer).
     pub shard_clusters: u64,
     /// Cross-cluster exchange candidates considered this epoch.

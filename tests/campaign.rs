@@ -150,6 +150,99 @@ fn deterministic_panic_is_retried_then_quarantined_and_grid_survives() {
         cell.error
     );
     assert_eq!(report.retries_total, 2);
+
+    // Forensics: every rung of the retry ladder is on the record, and
+    // each one carries the same deterministic panic payload.
+    let log = cell
+        .attempts_log
+        .as_ref()
+        .expect("freshly quarantined cells always carry the attempt log");
+    assert_eq!(log.len(), 3);
+    for (k, attempt) in log.iter().enumerate() {
+        assert_eq!(attempt.attempt as usize, k + 1);
+        assert!(
+            attempt.error.contains("exactly 2 core types"),
+            "attempt {}: {}",
+            attempt.attempt,
+            attempt.error
+        );
+    }
+    // IKS panics inside the very first rebalance, before any epoch
+    // span closes — the flight recorder is present but empty.
+    let flight = cell.flight.as_ref().expect("flight recorder present");
+    assert!(flight.spans.is_empty());
+}
+
+#[test]
+fn flight_recorder_preserves_the_last_epochs_of_a_budget_quarantine() {
+    // A runaway cell stopped by the epoch watchdog: the quarantine
+    // record must carry the tail of its epoch history — capped by the
+    // recorder ring — so the hang is debuggable post mortem.
+    let hung = CampaignJob::new(
+        0,
+        tiny_spec("hung-forensics", 2_000_000_000).with_max_epochs(10_000),
+        Policy::Vanilla,
+    );
+    let path = journal_path("flight-recorder");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let config = CampaignConfig {
+        max_retries: 1,
+        max_epochs_per_job: Some(5),
+        flight_recorder_epochs: 3,
+        ..CampaignConfig::default()
+    };
+    let mut campaign = Campaign::new(vec![hung], config, journal);
+    let report = campaign.run().expect("journal flushes");
+
+    assert_eq!(report.poisoned.len(), 1);
+    let cell = &report.poisoned[0];
+    let log = cell.attempts_log.as_ref().expect("attempt log present");
+    assert_eq!(log.len(), 2, "first try + one retry");
+    for attempt in log {
+        assert!(
+            attempt.error.contains("epoch budget exhausted"),
+            "{}",
+            attempt.error
+        );
+    }
+    let flight = cell.flight.as_ref().expect("flight recorder present");
+    assert_eq!(
+        flight.spans.len(),
+        3,
+        "the ring keeps exactly flight_recorder_epochs spans"
+    );
+    assert_eq!(
+        flight.dropped_epochs, 2,
+        "5 budgeted epochs minus a 3-span ring"
+    );
+    let epochs: Vec<u64> = flight.spans.iter().map(|s| s.epoch).collect();
+    assert!(
+        epochs.windows(2).all(|w| w[1] == w[0] + 1),
+        "the retained spans are the consecutive tail: {epochs:?}"
+    );
+
+    // The forensics survive the journal round trip: a resumed campaign
+    // replays them rather than re-running the cell.
+    let journal = CheckpointJournal::load(&path).expect("journal replays");
+    let hung = CampaignJob::new(
+        0,
+        tiny_spec("hung-forensics", 2_000_000_000).with_max_epochs(10_000),
+        Policy::Vanilla,
+    );
+    let mut resumed = Campaign::new(vec![hung], CampaignConfig::default(), journal);
+    let resumed_report = resumed.run().expect("journal flushes");
+    assert_eq!(resumed_report.resumed_cells, 1, "replayed, not recomputed");
+    let replayed = &resumed_report.poisoned[0];
+    assert_eq!(
+        replayed.flight.as_ref().map(|f| f.spans.len()),
+        Some(3),
+        "flight spans survive the disk round trip"
+    );
+    assert_eq!(
+        replayed.attempts_log.as_ref().map(Vec::len),
+        Some(2),
+        "attempt log survives the disk round trip"
+    );
 }
 
 #[test]

@@ -1,0 +1,214 @@
+//! Live observability plane acceptance tests: a running campaign
+//! serves `/metrics`, `/progress` and `/healthz` concurrently; the
+//! `sb_campaign_completed_total` counter only ever climbs; the final
+//! scrape agrees with the campaign report; and attaching the endpoint
+//! never perturbs a single report byte.
+//!
+//! The campaign runner holds an `Rc`-based telemetry handle and is
+//! deliberately `!Send`, so each test runs its campaign to completion
+//! inside a dedicated `std::thread` while the test thread plays the
+//! role of the scraper.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use archsim::{Platform, WorkloadCharacteristics};
+use campaign::{Campaign, CampaignConfig, CampaignJob, CampaignReport, CheckpointJournal};
+use smartbalance::{ExperimentSpec, Policy};
+use telemetry::SnapshotCell;
+use workloads::WorkloadProfile;
+
+fn tiny_spec(name: &str, instructions: u64) -> ExperimentSpec {
+    ExperimentSpec::new(
+        name,
+        Platform::quad_heterogeneous(),
+        vec![
+            WorkloadProfile::uniform("t0", WorkloadCharacteristics::balanced(), instructions),
+            WorkloadProfile::uniform("t1", WorkloadCharacteristics::compute_bound(), instructions),
+        ],
+    )
+    .with_max_epochs(60)
+}
+
+/// A 7-cell grid: three specs under two policies each, plus the
+/// canonical poisoned cell (IKS asserts big.LITTLE, panics on the
+/// quad) so the scrape surface exercises the quarantine counters too.
+fn grid() -> Vec<CampaignJob> {
+    let mut jobs = Vec::new();
+    for (s, spec_name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        for policy in [Policy::Vanilla, Policy::Smart] {
+            let index = jobs.len();
+            jobs.push(CampaignJob::new(
+                index,
+                tiny_spec(spec_name, 400_000 + 100_000 * s as u64),
+                policy,
+            ));
+        }
+    }
+    let index = jobs.len();
+    jobs.push(CampaignJob::new(
+        index,
+        tiny_spec("poisoned", 400_000),
+        Policy::Iks,
+    ));
+    jobs
+}
+
+fn journal_path(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("live-endpoint-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let path = dir.join(format!("{test}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(dir.join(format!("{test}.jsonl.tmp")));
+    path
+}
+
+/// One raw HTTP/1.1 GET over a fresh connection; returns
+/// `(status_code, body)`.
+fn scrape(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("endpoint accepts");
+    let request = format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .expect("status line parses");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The value of a plain (unlabeled) counter in a Prometheus page, if
+/// the series exists.
+fn counter_value(prometheus: &str, name: &str) -> Option<u64> {
+    prometheus.lines().find_map(|line| {
+        let (key, value) = line.split_once(' ')?;
+        (key == name).then(|| value.parse().ok())?
+    })
+}
+
+/// Runs a campaign over `grid()` to completion on a dedicated thread
+/// (the runner is `!Send`), publishing snapshots into `cell`.
+fn run_campaign_publishing(
+    test: &str,
+    cell: Arc<SnapshotCell>,
+) -> std::thread::JoinHandle<CampaignReport> {
+    let path = journal_path(test);
+    std::thread::spawn(move || {
+        let journal = CheckpointJournal::load(&path).expect("fresh journal");
+        let config = CampaignConfig {
+            flush_every: 1,
+            ..CampaignConfig::default()
+        };
+        let mut campaign = Campaign::new(grid(), config, journal);
+        campaign.attach_telemetry(telemetry::shared());
+        campaign.publish_snapshots(cell);
+        campaign.run().expect("journal flushes")
+    })
+}
+
+#[test]
+fn running_campaign_serves_all_three_endpoints_and_completed_only_climbs() {
+    let cell = Arc::new(SnapshotCell::fresh());
+    let server = obsd::serve(Arc::clone(&cell), "127.0.0.1:0").expect("endpoint binds");
+    let addr = server.bound_addr();
+
+    let worker = run_campaign_publishing("serves-while-running", Arc::clone(&cell));
+
+    // Scrape continuously until the campaign thread finishes. Every
+    // observed value of sb_campaign_completed_total must be >= the one
+    // before it: the endpoint never time-travels.
+    let mut observed = Vec::new();
+    let mut last = 0u64;
+    while !worker.is_finished() {
+        let (status, body) = scrape(addr, "/metrics");
+        assert_eq!(status, 200);
+        if let Some(value) = counter_value(&body, "sb_campaign_completed_total") {
+            assert!(
+                value >= last,
+                "sb_campaign_completed_total went backwards: {observed:?} then {value}"
+            );
+            last = value;
+            observed.push(value);
+        }
+        let (status, _) = scrape(addr, "/healthz");
+        assert_eq!(status, 200);
+    }
+    let report = worker.join().expect("campaign thread joins");
+
+    // The final snapshot agrees with the report, counter for counter.
+    let (status, body) = scrape(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        counter_value(&body, "sb_campaign_completed_total"),
+        Some(report.completed.len() as u64),
+        "final /metrics matches the report: {body}"
+    );
+    assert_eq!(
+        counter_value(&body, "sb_campaign_quarantined_total"),
+        Some(report.poisoned.len() as u64)
+    );
+    assert_eq!(
+        counter_value(&body, "sb_campaign_retried_total"),
+        Some(report.retries_total)
+    );
+
+    let (status, progress) = scrape(addr, "/progress");
+    assert_eq!(status, 200);
+    let expected = format!(
+        "\"cells_total\":{},\"cells_completed\":{},\"cells_quarantined\":{},\"cells_pending\":0",
+        report.cells,
+        report.completed.len(),
+        report.poisoned.len()
+    );
+    assert!(
+        progress.contains(&expected),
+        "final /progress carries the terminal tallies: {progress}"
+    );
+    assert!(
+        progress.contains("\"journal_flushes\":"),
+        "flush stats are exported: {progress}"
+    );
+    assert!(report.is_complete());
+    assert!(server.scrape_count() >= 2, "metrics scrapes were counted");
+    server.request_shutdown();
+}
+
+#[test]
+fn endpoint_on_and_off_reports_are_byte_identical() {
+    // Reference: the same grid with no live plane attached at all.
+    let path = journal_path("endpoint-off");
+    let journal = CheckpointJournal::load(&path).expect("fresh journal");
+    let mut reference = Campaign::new(grid(), CampaignConfig::default(), journal);
+    let reference_report = reference.run().expect("journal flushes");
+
+    let cell = Arc::new(SnapshotCell::fresh());
+    let server = obsd::serve(Arc::clone(&cell), "127.0.0.1:0").expect("endpoint binds");
+    let addr = server.bound_addr();
+    let worker = run_campaign_publishing("endpoint-on", cell);
+    while !worker.is_finished() {
+        let _ = scrape(addr, "/metrics");
+        let _ = scrape(addr, "/progress");
+    }
+    let observed_report = worker.join().expect("campaign thread joins");
+    server.request_shutdown();
+
+    let reference_bytes =
+        serde_json::to_string(&reference_report.canonicalized()).expect("report serializes");
+    let observed_bytes =
+        serde_json::to_string(&observed_report.canonicalized()).expect("report serializes");
+    assert_eq!(
+        reference_bytes, observed_bytes,
+        "scraping a live campaign must not change a single report byte"
+    );
+}
